@@ -1,0 +1,47 @@
+// Reproduces Figure 1: distribution of crime-sequence density degrees of
+// regions in NYC and Chicago. The paper's claim — most regions fall in the
+// sparse bins — must hold on the synthetic substrate as well.
+
+#include <cstdio>
+
+#include "common.h"
+#include "data/stats.h"
+
+namespace sthsl::bench {
+namespace {
+
+void Report(const char* title, const CrimeDataset& data) {
+  PrintSectionTitle(title);
+  const auto histogram = DensityHistogram(data, 0.25);
+  const char* bins[] = {"(0.00,0.25]", "(0.25,0.50]", "(0.50,0.75]",
+                        "(0.75,1.00]"};
+  PrintTableHeader({"Density bin", "Regions", "Share"}, 14, 12);
+  for (size_t i = 0; i < histogram.size() && i < 4; ++i) {
+    const double share = static_cast<double>(histogram[i]) /
+                         static_cast<double>(data.num_regions());
+    std::printf("%-14s%-12lld%-12.3f", bins[i],
+                static_cast<long long>(histogram[i]), share);
+    // ASCII bar for the figure shape.
+    const int bar = static_cast<int>(share * 40.0 + 0.5);
+    for (int b = 0; b < bar; ++b) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  std::printf("Figure 1 reproduction: region crime-sequence density "
+              "distribution\n");
+  Report("NYC", MakeNyc().data);
+  Report("Chicago", MakeChicago().data);
+  std::printf("\nPaper shape: the sparse bins dominate — most regions see "
+              "crime on a\nminority of days, motivating self-supervised "
+              "augmentation.\n");
+}
+
+}  // namespace
+}  // namespace sthsl::bench
+
+int main() {
+  sthsl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Figure 2: the skewed (power-law) distribution of crime
+// occurrence across regions for a one-month slice, per category. Prints the
+// sorted per-region counts (the figure's bars) in decile summary form plus
+// the Gini coefficient as a scalar skew measure.
+
+#include <cstdio>
+
+#include "common.h"
+#include "data/stats.h"
+
+namespace sthsl::bench {
+namespace {
+
+void Report(const char* title, const CrimeDataset& data) {
+  PrintSectionTitle(title);
+  // The paper plots September 2015 (one month); take a 30-day slice from
+  // the equivalent position of the span.
+  const int64_t start = data.num_days() * 2 / 3;
+  const int64_t length = 30;
+
+  PrintTableHeader({"Category", "max", "p90", "p50", "p10", "min", "Gini"},
+                   12, 9);
+  for (int64_t c = 0; c < data.num_categories(); ++c) {
+    const auto sorted = SortedRegionCounts(data, c, start, length);
+    const auto at = [&](double q) {
+      return sorted[static_cast<size_t>(q * (sorted.size() - 1))];
+    };
+    PrintTableRow(data.category_names()[static_cast<size_t>(c)],
+                  {sorted.front(), at(0.1), at(0.5), at(0.9), sorted.back(),
+                   SpatialGini(data, c)},
+                  12, 9, 2);
+  }
+
+  // The figure itself: sorted counts of the first category, as an ASCII
+  // bar sequence sampled every few regions.
+  const auto sorted = SortedRegionCounts(data, 0, start, length);
+  std::printf("\nsorted region counts, category %s:\n",
+              data.category_names()[0].c_str());
+  const double peak = sorted.front() > 0 ? sorted.front() : 1.0;
+  const size_t step = sorted.size() / 16 + 1;
+  for (size_t i = 0; i < sorted.size(); i += step) {
+    std::printf("region#%3zu %7.1f ", i, sorted[i]);
+    const int bar = static_cast<int>(sorted[i] / peak * 40.0 + 0.5);
+    for (int b = 0; b < bar; ++b) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  std::printf("Figure 2 reproduction: skewed crime occurrence across "
+              "regions\n");
+  Report("NYC", MakeNyc().data);
+  Report("Chicago", MakeChicago().data);
+  std::printf("\nPaper shape: a long-tail / power-law decay — a few regions "
+              "hold most\ncases (high Gini), the tail is near zero.\n");
+}
+
+}  // namespace
+}  // namespace sthsl::bench
+
+int main() {
+  sthsl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 6: robustness to data sparsity. Test-period MAE/MAPE is
+// broken down by region crime-density group — (0.0, 0.25] and (0.25, 0.5] —
+// for ST-HSL and representative baselines.
+//
+// Paper shape: ST-HSL keeps its lead in both sparse groups, with the margin
+// largest on the sparsest group.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "core/forecaster.h"
+#include "data/stats.h"
+#include "util/timer.h"
+
+namespace sthsl::bench {
+namespace {
+
+const char* kModels[] = {"STGCN", "GMAN", "STSHN", "DMSTGCN", "ST-HSL"};
+
+void RunCity(const char* title, const CityBenchmark& city) {
+  PrintSectionTitle(title);
+  const ComparisonConfig config = BenchComparisonConfig();
+
+  const auto sparse = RegionsInDensityRange(city.data, 0.0, 0.25);
+  const auto mid = RegionsInDensityRange(city.data, 0.25, 0.5);
+  std::printf("regions: %zu in (0.00,0.25], %zu in (0.25,0.50]\n",
+              sparse.size(), mid.size());
+
+  PrintTableHeader({"Model", "MAE(0,.25]", "MAPE(0,.25]", "MAE(.25,.5]",
+                    "MAPE(.25,.5]"},
+                   12, 13);
+  for (const char* name : kModels) {
+    Timer timer;
+    auto model = MakeForecaster(name, config.baseline, config.sthsl);
+    model->Fit(city.data, city.train_end);
+    CrimeMetrics metrics =
+        EvaluateForecaster(*model, city.data, city.test_start, city.test_end);
+    // Aggregate the group metrics across categories.
+    auto group_result = [&](const std::vector<int64_t>& regions) {
+      double mae_sum = 0.0;
+      double mape_sum = 0.0;
+      int64_t entries = 0;
+      for (int64_t c = 0; c < city.data.num_categories(); ++c) {
+        EvalResult r = metrics.CategoryForRegions(c, regions);
+        mae_sum += r.mae * static_cast<double>(r.evaluated_entries);
+        mape_sum += r.mape * static_cast<double>(r.evaluated_entries);
+        entries += r.evaluated_entries;
+      }
+      if (entries == 0) return std::pair<double, double>{0.0, 0.0};
+      return std::pair<double, double>{mae_sum / entries, mape_sum / entries};
+    };
+    const auto [mae_sparse, mape_sparse] = group_result(sparse);
+    const auto [mae_mid, mape_mid] = group_result(mid);
+    PrintTableRow(name, {mae_sparse, mape_sparse, mae_mid, mape_mid}, 12, 13);
+    std::fprintf(stderr, "[fig6] %s %s done in %.1fs\n", title, name,
+                 timer.ElapsedSeconds());
+  }
+}
+
+void Run() {
+  std::printf("Figure 6 reproduction: robustness to region-level data "
+              "sparsity\n");
+  RunCity("NYC", MakeNyc());
+  RunCity("Chicago", MakeChicago());
+  std::printf("\nPaper shape to verify: ST-HSL leads in both density groups; "
+              "the margin\nis widest on the sparsest group (0, 0.25].\n");
+}
+
+}  // namespace
+}  // namespace sthsl::bench
+
+int main() {
+  sthsl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Reproduces Figure 8: case study of the learned hyperedge-region
+// dependencies. Trains ST-HSL, then
+//   (i)  for sampled hyperedges, lists the top-3 most relevant regions and
+//        their min-max-normalized crime activity on sampled days (the
+//        paper's 4x3 matrices),
+//   (ii) prints each hyperedge's dependency scores over the whole grid as
+//        an ASCII map next to the ground-truth crime intensity map,
+//   (iii) quantifies the claim "highly dependent regions share similar
+//        crime patterns": mean pairwise correlation of top-3 region series
+//        versus random region pairs.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common.h"
+#include "core/forecaster.h"
+#include "core/sthsl_model.h"
+
+namespace sthsl::bench {
+namespace {
+
+std::vector<double> RegionSeries(const CrimeDataset& data, int64_t r) {
+  std::vector<double> series(static_cast<size_t>(data.num_days()), 0.0);
+  for (int64_t t = 0; t < data.num_days(); ++t) {
+    for (int64_t c = 0; c < data.num_categories(); ++c) {
+      series[static_cast<size_t>(t)] += data.Count(r, t, c);
+    }
+  }
+  return series;
+}
+
+double Correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  const double n = static_cast<double>(a.size());
+  double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+void Run() {
+  std::printf("Figure 8 reproduction: hyperedge-region dependency case "
+              "study\n");
+  const CityBenchmark city = MakeChicago();  // the paper's case-study city
+  const ComparisonConfig config = BenchComparisonConfig();
+
+  SthslForecaster model(config.sthsl);
+  model.Fit(city.data, city.train_end);
+  const SthslNet* net = model.net();
+  Tensor hyper = net->hyperedge_weights();  // (H, R*C)
+  const int64_t num_edges = hyper.Size(0);
+  const int64_t regions = city.data.num_regions();
+  const int64_t cats = city.data.num_categories();
+
+  // Per-(hyperedge, region) relevance: sum of |weight| over categories.
+  auto relevance = [&](int64_t e, int64_t r) {
+    double total = 0.0;
+    for (int64_t c = 0; c < cats; ++c) {
+      total += std::fabs(hyper.At({e, r * cats + c}));
+    }
+    return total;
+  };
+
+  // Sample up to 8 hyperedges, evenly spread.
+  std::vector<int64_t> sampled;
+  for (int64_t i = 0; i < std::min<int64_t>(8, num_edges); ++i) {
+    sampled.push_back(i * num_edges / std::min<int64_t>(8, num_edges));
+  }
+
+  double top_corr_sum = 0.0;
+  int top_corr_count = 0;
+  for (int64_t e : sampled) {
+    std::vector<int64_t> order(static_cast<size_t>(regions));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + 3, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        return relevance(e, a) > relevance(e, b);
+                      });
+    std::printf("\nhyperedge e%lld: top-3 regions %lld, %lld, %lld\n",
+                static_cast<long long>(e), static_cast<long long>(order[0]),
+                static_cast<long long>(order[1]),
+                static_cast<long long>(order[2]));
+
+    // 4x3 matrix: min-max normalized crime on 4 sampled test days.
+    std::printf("  day   |");
+    for (int k = 0; k < 3; ++k) {
+      std::printf("  r%-4lld", static_cast<long long>(order[k]));
+    }
+    std::printf("   (min-max normalized daily crime)\n");
+    std::vector<std::vector<double>> series;
+    for (int k = 0; k < 3; ++k) {
+      series.push_back(RegionSeries(city.data, order[k]));
+    }
+    std::vector<double> lo(3, 1e18);
+    std::vector<double> hi(3, -1e18);
+    for (int k = 0; k < 3; ++k) {
+      for (double v : series[k]) {
+        lo[k] = std::min(lo[k], v);
+        hi[k] = std::max(hi[k], v);
+      }
+    }
+    for (int d = 0; d < 4; ++d) {
+      const int64_t day =
+          city.test_start + d * (city.test_end - city.test_start) / 4;
+      std::printf("  t=%-4lld|", static_cast<long long>(day));
+      for (int k = 0; k < 3; ++k) {
+        const double denom = std::max(hi[k] - lo[k], 1e-9);
+        std::printf("  %.2f ",
+                    (series[k][static_cast<size_t>(day)] - lo[k]) / denom);
+      }
+      std::printf("\n");
+    }
+
+    // Similarity of the top regions' crime patterns.
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        top_corr_sum += Correlation(series[a], series[b]);
+        ++top_corr_count;
+      }
+    }
+  }
+
+  // Dependency map of the first sampled hyperedge vs ground-truth intensity.
+  const int64_t e0 = sampled.front();
+  double max_rel = 1e-9;
+  double max_crime = 1e-9;
+  std::vector<double> totals(static_cast<size_t>(regions), 0.0);
+  for (int64_t r = 0; r < regions; ++r) {
+    max_rel = std::max(max_rel, relevance(e0, r));
+    const auto series = RegionSeries(city.data, r);
+    totals[static_cast<size_t>(r)] =
+        std::accumulate(series.begin(), series.end(), 0.0);
+    max_crime = std::max(max_crime, totals[static_cast<size_t>(r)]);
+  }
+  std::printf("\nhyperedge e%lld dependency map        ground-truth crime "
+              "map\n", static_cast<long long>(e0));
+  static const char kRamp[] = " .:-=+*%#";
+  for (int64_t i = 0; i < city.data.rows(); ++i) {
+    for (int64_t j = 0; j < city.data.cols(); ++j) {
+      const double v = relevance(e0, i * city.data.cols() + j) / max_rel;
+      std::printf("%c", kRamp[static_cast<int>(v * 8.0)]);
+    }
+    std::printf("        ");
+    for (int64_t j = 0; j < city.data.cols(); ++j) {
+      const double v =
+          totals[static_cast<size_t>(i * city.data.cols() + j)] / max_crime;
+      std::printf("%c", kRamp[static_cast<int>(v * 8.0)]);
+    }
+    std::printf("\n");
+  }
+
+  // Baseline: correlation of random region pairs.
+  Rng rng(123);
+  double random_corr_sum = 0.0;
+  const int random_pairs = 60;
+  for (int i = 0; i < random_pairs; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(regions)));
+    const int64_t b = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(regions)));
+    random_corr_sum += Correlation(RegionSeries(city.data, a),
+                                   RegionSeries(city.data, b));
+  }
+  std::printf("\npattern-similarity check:\n");
+  std::printf("  mean correlation of top-3 regions per hyperedge : %.3f\n",
+              top_corr_sum / std::max(top_corr_count, 1));
+  std::printf("  mean correlation of random region pairs         : %.3f\n",
+              random_corr_sum / random_pairs);
+  std::printf("\nPaper shape to verify: regions tied to the same hyperedge "
+              "share crime\npatterns (higher correlation than random pairs), "
+              "and dependency maps\ntrack the ground-truth intensity maps.\n");
+}
+
+}  // namespace
+}  // namespace sthsl::bench
+
+int main() {
+  sthsl::bench::Run();
+  return 0;
+}

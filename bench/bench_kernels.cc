@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) of the tensor kernels that dominate
+// ST-HSL's training cost: matmul (hypergraph propagation), conv2d (spatial
+// encoder), conv1d (temporal encoders), softmax (contrastive loss) and a
+// full ST-HSL forward/backward step. Complements the experiment harnesses
+// with the model-complexity analysis of Sec. III-F.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sthsl_model.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace sthsl {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_HypergraphPropagation(benchmark::State& state) {
+  // sigma(H^T sigma(H E)) at bench scale: H=(32, 256), E=(256, 224).
+  Rng rng(2);
+  Tensor hyper = Tensor::Randn({32, 256}, rng);
+  Tensor embeddings = Tensor::Randn({256, 224}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor up = LeakyRelu(MatMul(hyper, embeddings), 0.1f);
+    benchmark::DoNotOptimize(
+        LeakyRelu(MatMul(Transpose(hyper, 0, 1), up), 0.1f));
+  }
+}
+BENCHMARK(BM_HypergraphPropagation);
+
+void BM_Conv2d(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  Tensor input = Tensor::Randn({batch, 4, 16, 16}, rng);
+  Tensor weight = Tensor::Randn({4, 4, 3, 3}, rng);
+  Tensor bias = Tensor::Randn({4}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv2d(input, weight, bias, 1, 1));
+  }
+}
+BENCHMARK(BM_Conv2d)->Arg(16)->Arg(64);
+
+void BM_Conv1d(benchmark::State& state) {
+  Rng rng(4);
+  Tensor input = Tensor::Randn({1024, 4, 14}, rng);
+  Tensor weight = Tensor::Randn({4, 4, 3}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv1d(input, weight, Tensor(), 1));
+  }
+}
+BENCHMARK(BM_Conv1d);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(5);
+  Tensor logits = Tensor::Randn({256, 256}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(logits, 1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_SthslTrainStep(benchmark::State& state) {
+  Rng rng(6);
+  SthslConfig config;
+  config.dim = 16;
+  config.num_hyperedges = 32;
+  SthslNet net(config, 8, 8, 4, 0.2f, 0.8f, rng);
+  Tensor window = Tensor::Rand({64, 14, 4}, rng, 0.0f, 3.0f);
+  Tensor target = Tensor::Rand({64, 4}, rng, 0.0f, 3.0f);
+  for (auto _ : state) {
+    SthslNet::Output out = net.Forward(window, /*training=*/true);
+    Tensor loss = MseLoss(out.prediction, target);
+    loss = Add(loss, MulScalar(out.infomax_loss, 0.2f));
+    loss = Add(loss, MulScalar(out.contrastive_loss, 0.1f));
+    loss.Backward();
+    for (auto& p : net.Parameters()) p.ZeroGrad();
+  }
+}
+BENCHMARK(BM_SthslTrainStep);
+
+void BM_SthslInference(benchmark::State& state) {
+  Rng rng(7);
+  SthslConfig config;
+  config.dim = 16;
+  config.num_hyperedges = 32;
+  SthslNet net(config, 8, 8, 4, 0.2f, 0.8f, rng);
+  net.SetTraining(false);
+  Tensor window = Tensor::Rand({64, 14, 4}, rng, 0.0f, 3.0f);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(window, /*training=*/false));
+  }
+}
+BENCHMARK(BM_SthslInference);
+
+}  // namespace
+}  // namespace sthsl
+
+BENCHMARK_MAIN();

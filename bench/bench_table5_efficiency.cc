@@ -1,0 +1,58 @@
+// Reproduces Table V: computational time cost per training epoch for the
+// efficiency-study subset of models on both cities.
+//
+// Absolute numbers are CPU seconds at the active scale (the paper used a
+// GTX 1080Ti); the shape to verify is the relative ordering: plain
+// convolutional models (STGCN) cheapest, recurrent/attention-heavy models
+// (DCRNN, STDN) most expensive, ST-HSL in the middle of the pack.
+
+#include <cstdio>
+#include <numeric>
+
+#include "common.h"
+#include "util/timer.h"
+
+namespace sthsl::bench {
+namespace {
+
+double MeanEpochSeconds(Forecaster& model, const CityBenchmark& city) {
+  model.Fit(city.data, city.train_end);
+  const auto epochs = model.EpochSeconds();
+  if (epochs.empty()) return 0.0;
+  return std::accumulate(epochs.begin(), epochs.end(), 0.0) /
+         static_cast<double>(epochs.size());
+}
+
+void Run() {
+  std::printf("Table V reproduction: per-epoch training time (seconds)\n");
+  ComparisonConfig config = BenchComparisonConfig();
+  // A short run suffices to time epochs.
+  config.baseline.train.epochs = 3;
+  config.sthsl.train.epochs = 3;
+  config.baseline.train.validation_days = 0;
+  config.sthsl.train.validation_days = 0;
+
+  const CityBenchmark nyc = MakeNyc();
+  const CityBenchmark chi = MakeChicago();
+
+  PrintTableHeader({"Model", "NYC", "CHI"}, 14, 10);
+  for (const auto& name : EfficiencyStudyModelNames()) {
+    auto model_nyc = MakeForecaster(name, config.baseline, config.sthsl);
+    const double nyc_seconds = MeanEpochSeconds(*model_nyc, nyc);
+    auto model_chi = MakeForecaster(name, config.baseline, config.sthsl);
+    const double chi_seconds = MeanEpochSeconds(*model_chi, chi);
+    PrintTableRow(name, {nyc_seconds, chi_seconds}, 14, 10, 3);
+    std::fprintf(stderr, "[table5] %s done\n", name.c_str());
+  }
+  std::printf("\nPaper shape to verify: STGCN cheapest; DCRNN and STDN most "
+              "expensive;\nST-HSL mid-pack — its SSL losses add only small "
+              "overhead.\n");
+}
+
+}  // namespace
+}  // namespace sthsl::bench
+
+int main() {
+  sthsl::bench::Run();
+  return 0;
+}

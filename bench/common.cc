@@ -1,0 +1,83 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sthsl::bench {
+
+Scale GetScale() {
+  const char* env = std::getenv("STHSL_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "full") == 0) return Scale::kFull;
+  return Scale::kSmall;
+}
+
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  return std::atoll(env);
+}
+
+}  // namespace
+
+CityBenchmark MakeCity(const CrimeGenConfig& config) {
+  CityBenchmark city;
+  city.data = GenerateCrimeData(config);
+  const int64_t days = city.data.num_days();
+  const int64_t test_days = days / 8;  // paper: train:test = 7:1
+  city.train_end = days - test_days;
+  city.test_start = city.train_end;
+  city.test_end = days;
+  return city;
+}
+
+CityBenchmark MakeNyc() {
+  return MakeCity(GetScale() == Scale::kFull ? NycPreset() : NycSmallPreset());
+}
+
+CityBenchmark MakeChicago() {
+  return MakeCity(GetScale() == Scale::kFull ? ChicagoPreset()
+                                             : ChicagoSmallPreset());
+}
+
+ComparisonConfig BenchComparisonConfig() {
+  const int64_t epochs = EnvInt("STHSL_BENCH_EPOCHS", 10);
+  const int64_t steps = EnvInt("STHSL_BENCH_STEPS", 14);
+  ComparisonConfig config =
+      MakeComparisonConfig(/*window=*/14, epochs, steps, /*seed=*/77);
+  const char* lr_env = std::getenv("STHSL_BENCH_LR");
+  if (lr_env != nullptr) {
+    const float lr = static_cast<float>(std::atof(lr_env));
+    config.baseline.train.lr = lr;
+    config.sthsl.train.lr = lr;
+  }
+  return config;
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns,
+                      int first_width, int width) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%-*s", i == 0 ? first_width : width, columns[i].c_str());
+  }
+  std::printf("\n");
+  const int total =
+      first_width + width * (static_cast<int>(columns.size()) - 1);
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::string& label,
+                   const std::vector<double>& values, int first_width,
+                   int width, int precision) {
+  std::printf("%-*s", first_width, label.c_str());
+  for (double v : values) std::printf("%-*.*f", width, precision, v);
+  std::printf("\n");
+}
+
+void PrintSectionTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace sthsl::bench

@@ -1,0 +1,48 @@
+#ifndef STHSL_BENCH_COMMON_H_
+#define STHSL_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/sthsl_model.h"
+#include "data/crime_dataset.h"
+#include "data/generator.h"
+
+namespace sthsl::bench {
+
+/// Scale of a benchmark run, selected via the STHSL_BENCH_SCALE environment
+/// variable ("small" default, "full" for paper-sized grids). "full" runs the
+/// 256/168-region presets and is slow on a single core.
+enum class Scale { kSmall, kFull };
+
+Scale GetScale();
+
+/// The two evaluation cities at the active scale.
+struct CityBenchmark {
+  CrimeDataset data;
+  int64_t train_end;   // days [0, train_end) are trainable
+  int64_t test_start;  // = train_end
+  int64_t test_end;    // last day + 1
+};
+
+CityBenchmark MakeCity(const CrimeGenConfig& config);
+CityBenchmark MakeNyc();
+CityBenchmark MakeChicago();
+
+/// Shared training scale for model comparisons; honors STHSL_BENCH_EPOCHS
+/// and STHSL_BENCH_STEPS overrides.
+ComparisonConfig BenchComparisonConfig();
+
+/// Formatted table printing: fixed-width columns, 4-decimal floats.
+void PrintTableHeader(const std::vector<std::string>& columns,
+                      int first_width = 16, int width = 9);
+void PrintTableRow(const std::string& label,
+                   const std::vector<double>& values, int first_width = 16,
+                   int width = 9, int precision = 4);
+void PrintSectionTitle(const std::string& title);
+
+}  // namespace sthsl::bench
+
+#endif  // STHSL_BENCH_COMMON_H_

@@ -1,0 +1,141 @@
+// Interactive ablation explorer: train any ST-HSL variant (or a custom
+// combination of switches) from the command line and report its accuracy —
+// the tool behind the paper's RQ2 analyses.
+//
+//   ./ablation_explorer --variant "w/o ConL"
+//   ./ablation_explorer --no-infomax --no-contrastive --dim 8 --hyper 16
+//   ./ablation_explorer --list
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/ablation.h"
+#include "core/forecaster.h"
+#include "core/sthsl_model.h"
+#include "data/generator.h"
+
+using namespace sthsl;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: ablation_explorer [options]\n"
+      "  --list                 list named paper variants and exit\n"
+      "  --variant NAME         use a named variant (e.g. \"w/o ConL\")\n"
+      "  --city nyc|chicago     dataset preset (default nyc)\n"
+      "  --dim N --hyper N --kernel N    architecture knobs\n"
+      "  --epochs N --window N  training knobs\n"
+      "  --no-spatial --no-temporal --no-category --no-local\n"
+      "  --no-hyper --no-globaltem --no-infomax --no-contrastive\n"
+      "  --predict local|global|fusion   prediction source\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SthslConfig config;
+  config.num_hyperedges = 32;
+  config.train.window = 14;
+  config.train.epochs = 12;
+  config.train.max_steps_per_epoch = 16;
+  std::string city = "nyc";
+  std::string variant;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      std::printf("local-encoder variants (Fig. 5):\n");
+      for (const auto& n : LocalEncoderVariantNames()) {
+        std::printf("  %s\n", n.c_str());
+      }
+      std::printf("self-supervision variants (Table IV):\n");
+      for (const auto& n : SslVariantNames()) std::printf("  %s\n", n.c_str());
+      return 0;
+    } else if (arg == "--variant") {
+      variant = next();
+    } else if (arg == "--city") {
+      city = next();
+    } else if (arg == "--dim") {
+      config.dim = std::atoll(next());
+    } else if (arg == "--hyper") {
+      config.num_hyperedges = std::atoll(next());
+    } else if (arg == "--kernel") {
+      config.kernel_size = std::atoll(next());
+    } else if (arg == "--epochs") {
+      config.train.epochs = std::atoll(next());
+    } else if (arg == "--window") {
+      config.train.window = std::atoll(next());
+    } else if (arg == "--no-spatial") {
+      config.use_spatial_conv = false;
+    } else if (arg == "--no-temporal") {
+      config.use_temporal_conv = false;
+    } else if (arg == "--no-category") {
+      config.use_category_conv = false;
+    } else if (arg == "--no-local") {
+      config.use_local_encoder = false;
+    } else if (arg == "--no-hyper") {
+      config.use_hypergraph = false;
+    } else if (arg == "--no-globaltem") {
+      config.use_global_temporal = false;
+    } else if (arg == "--no-infomax") {
+      config.use_infomax = false;
+    } else if (arg == "--no-contrastive") {
+      config.use_contrastive = false;
+    } else if (arg == "--predict") {
+      const std::string source = next();
+      config.prediction_source = source == "local"
+                                     ? PredictionSource::kLocal
+                                     : source == "fusion"
+                                           ? PredictionSource::kFusion
+                                           : PredictionSource::kGlobal;
+    } else {
+      PrintUsage();
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  if (!variant.empty()) config = AblationVariant(variant, config);
+
+  CrimeDataset data = GenerateCrimeData(
+      city == "chicago" ? ChicagoSmallPreset() : NycSmallPreset());
+  const int64_t train_end = data.num_days() - data.num_days() / 8;
+
+  const std::string name = variant.empty() ? "custom" : variant;
+  std::printf("variant: %s on %s\n", name.c_str(), data.city_name().c_str());
+  std::printf("  switches: spatial=%d temporal=%d category=%d local=%d "
+              "hyper=%d globaltem=%d infomax=%d contrastive=%d predict=%s\n",
+              config.use_spatial_conv, config.use_temporal_conv,
+              config.use_category_conv, config.use_local_encoder,
+              config.use_hypergraph, config.use_global_temporal,
+              config.use_infomax, config.use_contrastive,
+              config.prediction_source == PredictionSource::kGlobal
+                  ? "global"
+                  : config.prediction_source == PredictionSource::kLocal
+                        ? "local"
+                        : "fusion");
+
+  SthslForecaster model(config, name);
+  model.Fit(data, train_end);
+  CrimeMetrics metrics =
+      EvaluateForecaster(model, data, train_end, data.num_days());
+  for (int64_t c = 0; c < data.num_categories(); ++c) {
+    const EvalResult r = metrics.Category(c);
+    std::printf("  %-10s MAE %.4f  MAPE %.4f\n",
+                data.category_names()[static_cast<size_t>(c)].c_str(), r.mae,
+                r.mape);
+  }
+  const EvalResult overall = metrics.Overall();
+  std::printf("  %-10s MAE %.4f  MAPE %.4f\n", "overall", overall.mae,
+              overall.mape);
+  return 0;
+}

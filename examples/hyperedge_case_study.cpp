@@ -1,0 +1,146 @@
+// Hyperedge interpretability tour (the paper's Fig. 8 / RQ5 analysis as a
+// reusable tool): trains ST-HSL, then lets you inspect what the learnable
+// hypergraph discovered — which regions each hyperedge ties together, how
+// similar their crime patterns really are, and how the dependency structure
+// compares to raw geography.
+//
+//   ./hyperedge_case_study [nyc|chicago] [num_edges_to_show]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "core/sthsl_model.h"
+#include "data/generator.h"
+
+using namespace sthsl;
+
+namespace {
+
+double Correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  const double n = static_cast<double>(a.size());
+  const double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  const double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return (va <= 0.0 || vb <= 0.0) ? 0.0 : cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string city = argc > 1 ? argv[1] : "chicago";
+  const int show_edges = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  CrimeDataset data = GenerateCrimeData(
+      city == "nyc" ? NycSmallPreset() : ChicagoSmallPreset());
+  const int64_t train_end = data.num_days() - data.num_days() / 8;
+
+  SthslConfig config;
+  config.num_hyperedges = 32;
+  config.train.window = 14;
+  config.train.epochs = 12;
+  config.train.max_steps_per_epoch = 16;
+  SthslForecaster model(config);
+  std::printf("training ST-HSL on %s...\n", data.city_name().c_str());
+  model.Fit(data, train_end);
+
+  Tensor hyper = model.net()->hyperedge_weights();  // (H, R*C)
+  const int64_t regions = data.num_regions();
+  const int64_t cats = data.num_categories();
+
+  auto relevance = [&](int64_t e, int64_t r) {
+    double total = 0.0;
+    for (int64_t c = 0; c < cats; ++c) {
+      total += std::fabs(hyper.At({e, r * cats + c}));
+    }
+    return total;
+  };
+  auto series = [&](int64_t r) {
+    std::vector<double> out(static_cast<size_t>(data.num_days()), 0.0);
+    for (int64_t t = 0; t < data.num_days(); ++t) {
+      for (int64_t c = 0; c < cats; ++c) out[static_cast<size_t>(t)] +=
+          data.Count(r, t, c);
+    }
+    return out;
+  };
+
+  // Rank hyperedges by how concentrated their relevance is (interesting
+  // hyperedges pick out a few regions instead of averaging everything).
+  std::vector<std::pair<double, int64_t>> edge_order;
+  for (int64_t e = 0; e < hyper.Size(0); ++e) {
+    std::vector<double> scores(static_cast<size_t>(regions));
+    double total = 0.0;
+    for (int64_t r = 0; r < regions; ++r) {
+      scores[static_cast<size_t>(r)] = relevance(e, r);
+      total += scores[static_cast<size_t>(r)];
+    }
+    std::sort(scores.rbegin(), scores.rend());
+    const double concentration =
+        total > 0.0 ? (scores[0] + scores[1] + scores[2]) / total : 0.0;
+    edge_order.emplace_back(concentration, e);
+  }
+  std::sort(edge_order.rbegin(), edge_order.rend());
+
+  for (int i = 0; i < show_edges && i < static_cast<int>(edge_order.size());
+       ++i) {
+    const int64_t e = edge_order[static_cast<size_t>(i)].second;
+    std::vector<int64_t> order(static_cast<size_t>(regions));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + 3, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        return relevance(e, a) > relevance(e, b);
+                      });
+    std::printf("\nhyperedge e%lld (top-3 concentration %.2f)\n",
+                static_cast<long long>(e),
+                edge_order[static_cast<size_t>(i)].first);
+    std::vector<std::vector<double>> top_series;
+    for (int k = 0; k < 3; ++k) {
+      const int64_t r = order[static_cast<size_t>(k)];
+      const auto s = series(r);
+      const double daily =
+          std::accumulate(s.begin(), s.end(), 0.0) / s.size();
+      std::printf("  region %-3lld (row %lld, col %lld): relevance %.3f, "
+                  "avg %.2f crimes/day, density %.2f\n",
+                  static_cast<long long>(r),
+                  static_cast<long long>(r / data.cols()),
+                  static_cast<long long>(r % data.cols()), relevance(e, r),
+                  daily, data.DensityDegree(r));
+      top_series.push_back(s);
+    }
+    std::printf("  pairwise pattern correlation: %.3f %.3f %.3f\n",
+                Correlation(top_series[0], top_series[1]),
+                Correlation(top_series[0], top_series[2]),
+                Correlation(top_series[1], top_series[2]));
+    // Geographic spread: hyperedges may tie together distant regions.
+    auto dist = [&](int64_t a, int64_t b) {
+      const double dr = static_cast<double>(a / data.cols() - b / data.cols());
+      const double dc = static_cast<double>(a % data.cols() - b % data.cols());
+      return std::sqrt(dr * dr + dc * dc);
+    };
+    std::printf("  grid distances: %.1f %.1f %.1f (max possible %.1f)\n",
+                dist(order[0], order[1]), dist(order[0], order[2]),
+                dist(order[1], order[2]),
+                std::sqrt(static_cast<double>(
+                    data.rows() * data.rows() + data.cols() * data.cols())));
+  }
+
+  std::printf("\nInterpretation: hyperedges with high top-3 concentration act "
+              "as learned\n\"functional zones\": their member regions show "
+              "correlated crime patterns\neven when geographically distant — "
+              "the global dependency the paper's\nlocal encoders cannot "
+              "capture.\n");
+  return 0;
+}

@@ -1,0 +1,349 @@
+#include "baselines/classical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sthsl {
+namespace {
+
+/// Ordinary least squares via normal equations with Gaussian elimination and
+/// a small ridge term for numerical stability. X is n x k (row-major).
+std::vector<double> SolveLeastSquares(const std::vector<double>& x,
+                                      const std::vector<double>& y,
+                                      int64_t n, int64_t k) {
+  STHSL_CHECK_EQ(static_cast<int64_t>(x.size()), n * k);
+  STHSL_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  std::vector<double> xtx(static_cast<size_t>(k * k), 0.0);
+  std::vector<double> xty(static_cast<size_t>(k), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t a = 0; a < k; ++a) {
+      const double xa = x[static_cast<size_t>(i * k + a)];
+      xty[static_cast<size_t>(a)] += xa * y[static_cast<size_t>(i)];
+      for (int64_t b = 0; b < k; ++b) {
+        xtx[static_cast<size_t>(a * k + b)] +=
+            xa * x[static_cast<size_t>(i * k + b)];
+      }
+    }
+  }
+  for (int64_t a = 0; a < k; ++a) xtx[static_cast<size_t>(a * k + a)] += 1e-6;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> beta = xty;
+  for (int64_t col = 0; col < k; ++col) {
+    int64_t pivot = col;
+    for (int64_t row = col + 1; row < k; ++row) {
+      if (std::fabs(xtx[static_cast<size_t>(row * k + col)]) >
+          std::fabs(xtx[static_cast<size_t>(pivot * k + col)])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(xtx[static_cast<size_t>(pivot * k + col)]) < 1e-12) {
+      continue;  // singular direction; leave coefficient at current value
+    }
+    if (pivot != col) {
+      for (int64_t b = 0; b < k; ++b) {
+        std::swap(xtx[static_cast<size_t>(col * k + b)],
+                  xtx[static_cast<size_t>(pivot * k + b)]);
+      }
+      std::swap(beta[static_cast<size_t>(col)],
+                beta[static_cast<size_t>(pivot)]);
+    }
+    const double diag = xtx[static_cast<size_t>(col * k + col)];
+    for (int64_t row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const double factor =
+          xtx[static_cast<size_t>(row * k + col)] / diag;
+      if (factor == 0.0) continue;
+      for (int64_t b = col; b < k; ++b) {
+        xtx[static_cast<size_t>(row * k + b)] -=
+            factor * xtx[static_cast<size_t>(col * k + b)];
+      }
+      beta[static_cast<size_t>(row)] -= factor * beta[static_cast<size_t>(col)];
+    }
+  }
+  for (int64_t a = 0; a < k; ++a) {
+    const double diag = xtx[static_cast<size_t>(a * k + a)];
+    beta[static_cast<size_t>(a)] =
+        std::fabs(diag) < 1e-12 ? 0.0 : beta[static_cast<size_t>(a)] / diag;
+  }
+  return beta;
+}
+
+std::vector<double> Difference(const std::vector<double>& series, int order) {
+  std::vector<double> out = series;
+  for (int iteration = 0; iteration < order; ++iteration) {
+    if (out.size() < 2) return {};
+    std::vector<double> next(out.size() - 1);
+    for (size_t i = 1; i < out.size(); ++i) next[i - 1] = out[i] - out[i - 1];
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+// -- HistoricalAverage --------------------------------------------------------------
+
+void HistoricalAverage::Fit(const CrimeDataset& data, int64_t train_end) {
+  num_regions_ = data.num_regions();
+  num_categories_ = data.num_categories();
+  buckets_ = day_of_week_ ? 7 : 1;
+  means_.assign(
+      static_cast<size_t>(buckets_ * num_regions_ * num_categories_), 0.0f);
+  std::vector<int64_t> counts(
+      static_cast<size_t>(buckets_ * num_regions_ * num_categories_), 0);
+  for (int64_t t = 0; t < train_end; ++t) {
+    const int64_t bucket = day_of_week_ ? t % 7 : 0;
+    for (int64_t r = 0; r < num_regions_; ++r) {
+      for (int64_t c = 0; c < num_categories_; ++c) {
+        const size_t idx = static_cast<size_t>(
+            (bucket * num_regions_ + r) * num_categories_ + c);
+        means_[idx] += data.Count(r, t, c);
+        ++counts[idx];
+      }
+    }
+  }
+  for (size_t i = 0; i < means_.size(); ++i) {
+    if (counts[i] > 0) means_[i] /= static_cast<float>(counts[i]);
+  }
+}
+
+Tensor HistoricalAverage::PredictDay(const CrimeDataset& data, int64_t t) {
+  STHSL_CHECK(!means_.empty()) << "Fit must run before PredictDay";
+  const int64_t bucket = day_of_week_ ? t % 7 : 0;
+  std::vector<float> out(
+      static_cast<size_t>(num_regions_ * num_categories_));
+  for (int64_t r = 0; r < num_regions_; ++r) {
+    for (int64_t c = 0; c < num_categories_; ++c) {
+      out[static_cast<size_t>(r * num_categories_ + c)] =
+          means_[static_cast<size_t>(
+              (bucket * num_regions_ + r) * num_categories_ + c)];
+    }
+  }
+  return Tensor::FromVector({num_regions_, num_categories_}, std::move(out));
+}
+
+// -- ARIMA -------------------------------------------------------------------------
+
+void Arima::Fit(const CrimeDataset& data, int64_t train_end) {
+  num_regions_ = data.num_regions();
+  num_categories_ = data.num_categories();
+  models_.assign(static_cast<size_t>(num_regions_ * num_categories_), {});
+
+  for (int64_t r = 0; r < num_regions_; ++r) {
+    for (int64_t c = 0; c < num_categories_; ++c) {
+      std::vector<double> series(static_cast<size_t>(train_end));
+      for (int64_t t = 0; t < train_end; ++t) {
+        series[static_cast<size_t>(t)] = data.Count(r, t, c);
+      }
+      SeriesModel& model =
+          models_[static_cast<size_t>(r * num_categories_ + c)];
+      model.ar.assign(static_cast<size_t>(p_), 0.0);
+      model.ma.assign(static_cast<size_t>(q_), 0.0);
+      double max_value = 0.0;
+      for (double v : series) max_value = std::max(max_value, v);
+      model.max_forecast = 3.0 * max_value + 5.0;
+
+      const std::vector<double> w = Difference(series, d_);
+      const int64_t n = static_cast<int64_t>(w.size());
+      const int long_order = p_ + q_ + 3;
+      if (n < long_order + p_ + q_ + 4) {
+        // Too short: fall back to the series mean in differenced space.
+        double mean = 0.0;
+        for (double v : w) mean += v;
+        model.intercept = w.empty() ? 0.0 : mean / static_cast<double>(n);
+        continue;
+      }
+
+      // Stage 1: long-AR fit to estimate innovations.
+      std::vector<double> x1;
+      std::vector<double> y1;
+      for (int64_t t = long_order; t < n; ++t) {
+        x1.push_back(1.0);
+        for (int lag = 1; lag <= long_order; ++lag) {
+          x1.push_back(w[static_cast<size_t>(t - lag)]);
+        }
+        y1.push_back(w[static_cast<size_t>(t)]);
+      }
+      const int64_t k1 = long_order + 1;
+      const std::vector<double> phi_long = SolveLeastSquares(
+          x1, y1, static_cast<int64_t>(y1.size()), k1);
+      std::vector<double> residuals(static_cast<size_t>(n), 0.0);
+      for (int64_t t = long_order; t < n; ++t) {
+        double fitted = phi_long[0];
+        for (int lag = 1; lag <= long_order; ++lag) {
+          fitted += phi_long[static_cast<size_t>(lag)] *
+                    w[static_cast<size_t>(t - lag)];
+        }
+        residuals[static_cast<size_t>(t)] = w[static_cast<size_t>(t)] - fitted;
+      }
+
+      // Stage 2: joint AR+MA regression on lagged values and residuals.
+      const int64_t start = long_order + std::max(p_, q_);
+      std::vector<double> x2;
+      std::vector<double> y2;
+      for (int64_t t = start; t < n; ++t) {
+        x2.push_back(1.0);
+        for (int lag = 1; lag <= p_; ++lag) {
+          x2.push_back(w[static_cast<size_t>(t - lag)]);
+        }
+        for (int lag = 1; lag <= q_; ++lag) {
+          x2.push_back(residuals[static_cast<size_t>(t - lag)]);
+        }
+        y2.push_back(w[static_cast<size_t>(t)]);
+      }
+      const int64_t k2 = 1 + p_ + q_;
+      const std::vector<double> beta = SolveLeastSquares(
+          x2, y2, static_cast<int64_t>(y2.size()), k2);
+      model.intercept = beta[0];
+      for (int lag = 0; lag < p_; ++lag) {
+        model.ar[static_cast<size_t>(lag)] = beta[static_cast<size_t>(1 + lag)];
+      }
+      for (int lag = 0; lag < q_; ++lag) {
+        model.ma[static_cast<size_t>(lag)] =
+            beta[static_cast<size_t>(1 + p_ + lag)];
+      }
+
+      // Stability guard: if the fitted model does not beat an intercept-only
+      // model in-sample, the estimate is unreliable (often explosive on
+      // degenerate sparse series) — fall back to the mean of w.
+      double mean_w = 0.0;
+      for (double v : w) mean_w += v;
+      mean_w /= static_cast<double>(n);
+      double model_sse = 0.0;
+      double mean_sse = 0.0;
+      for (size_t i = 0; i < y2.size(); ++i) {
+        double fitted = 0.0;
+        for (int64_t j = 0; j < k2; ++j) {
+          fitted += beta[static_cast<size_t>(j)] * x2[i * k2 + j];
+        }
+        model_sse += (y2[i] - fitted) * (y2[i] - fitted);
+        mean_sse += (y2[i] - mean_w) * (y2[i] - mean_w);
+      }
+      if (!(model_sse < mean_sse)) {
+        model.intercept = mean_w;
+        model.ar.assign(static_cast<size_t>(p_), 0.0);
+        model.ma.assign(static_cast<size_t>(q_), 0.0);
+      }
+    }
+  }
+}
+
+Tensor Arima::PredictDay(const CrimeDataset& data, int64_t t) {
+  STHSL_CHECK(!models_.empty()) << "Fit must run before PredictDay";
+  std::vector<float> out(
+      static_cast<size_t>(num_regions_ * num_categories_), 0.0f);
+  for (int64_t r = 0; r < num_regions_; ++r) {
+    for (int64_t c = 0; c < num_categories_; ++c) {
+      const SeriesModel& model =
+          models_[static_cast<size_t>(r * num_categories_ + c)];
+      std::vector<double> series(static_cast<size_t>(t));
+      for (int64_t s = 0; s < t; ++s) {
+        series[static_cast<size_t>(s)] = data.Count(r, s, c);
+      }
+      const std::vector<double> w = Difference(series, d_);
+      const int64_t n = static_cast<int64_t>(w.size());
+      // Reconstruct innovations along the available history.
+      std::vector<double> residuals(static_cast<size_t>(std::max<int64_t>(n, 0)),
+                                    0.0);
+      for (int64_t s = std::max(p_, q_); s < n; ++s) {
+        double fitted = model.intercept;
+        for (int lag = 1; lag <= p_; ++lag) {
+          fitted += model.ar[static_cast<size_t>(lag - 1)] *
+                    w[static_cast<size_t>(s - lag)];
+        }
+        for (int lag = 1; lag <= q_; ++lag) {
+          fitted += model.ma[static_cast<size_t>(lag - 1)] *
+                    residuals[static_cast<size_t>(s - lag)];
+        }
+        residuals[static_cast<size_t>(s)] = w[static_cast<size_t>(s)] - fitted;
+      }
+      double w_hat = model.intercept;
+      for (int lag = 1; lag <= p_ && n - lag >= 0 && n >= lag; ++lag) {
+        w_hat += model.ar[static_cast<size_t>(lag - 1)] *
+                 w[static_cast<size_t>(n - lag)];
+      }
+      for (int lag = 1; lag <= q_ && n >= lag; ++lag) {
+        w_hat += model.ma[static_cast<size_t>(lag - 1)] *
+                 residuals[static_cast<size_t>(n - lag)];
+      }
+      double prediction = w_hat;
+      if (d_ >= 1 && !series.empty()) {
+        prediction += series.back();  // invert first-order differencing
+      }
+      // Clamp against explosive estimates from unstable AR roots.
+      prediction =
+          std::min(std::max(prediction, 0.0), model.max_forecast);
+      out[static_cast<size_t>(r * num_categories_ + c)] =
+          static_cast<float>(prediction);
+    }
+  }
+  return Tensor::FromVector({num_regions_, num_categories_}, std::move(out));
+}
+
+// -- SVR ---------------------------------------------------------------------------
+
+void Svr::Fit(const CrimeDataset& data, int64_t train_end) {
+  num_categories_ = data.num_categories();
+  const int64_t regions = data.num_regions();
+  weights_.assign(static_cast<size_t>(num_categories_),
+                  std::vector<double>(static_cast<size_t>(lags_ + 1), 0.0));
+  Rng rng(seed_);
+
+  for (int64_t c = 0; c < num_categories_; ++c) {
+    auto& w = weights_[static_cast<size_t>(c)];
+    const int64_t samples_per_epoch = regions * 4;
+    int64_t step = 0;
+    for (int epoch = 0; epoch < epochs_; ++epoch) {
+      for (int64_t i = 0; i < samples_per_epoch; ++i) {
+        const int64_t r = static_cast<int64_t>(rng.UniformInt(
+            static_cast<uint64_t>(regions)));
+        const int64_t t = lags_ + static_cast<int64_t>(rng.UniformInt(
+                                      static_cast<uint64_t>(
+                                          train_end - lags_)));
+        double f = w[static_cast<size_t>(lags_)];  // bias
+        for (int64_t lag = 0; lag < lags_; ++lag) {
+          f += w[static_cast<size_t>(lag)] *
+               data.Count(r, t - 1 - lag, c);
+        }
+        const double y = data.Count(r, t, c);
+        const double err = f - y;
+        ++step;
+        const double lr = 0.01 / (1.0 + 1e-3 * static_cast<double>(step));
+        // Subgradient of 0.5||w||^2/(C*n) + epsilon-insensitive loss.
+        const double sign =
+            err > epsilon_ ? 1.0 : (err < -epsilon_ ? -1.0 : 0.0);
+        for (int64_t lag = 0; lag < lags_; ++lag) {
+          const double grad =
+              sign * data.Count(r, t - 1 - lag, c) +
+              w[static_cast<size_t>(lag)] / (c_ * samples_per_epoch);
+          w[static_cast<size_t>(lag)] -= lr * grad;
+        }
+        w[static_cast<size_t>(lags_)] -= lr * sign;
+      }
+    }
+  }
+}
+
+Tensor Svr::PredictDay(const CrimeDataset& data, int64_t t) {
+  STHSL_CHECK(!weights_.empty()) << "Fit must run before PredictDay";
+  const int64_t regions = data.num_regions();
+  std::vector<float> out(static_cast<size_t>(regions * num_categories_));
+  for (int64_t r = 0; r < regions; ++r) {
+    for (int64_t c = 0; c < num_categories_; ++c) {
+      const auto& w = weights_[static_cast<size_t>(c)];
+      double f = w[static_cast<size_t>(lags_)];
+      for (int64_t lag = 0; lag < lags_; ++lag) {
+        f += w[static_cast<size_t>(lag)] * data.Count(r, t - 1 - lag, c);
+      }
+      out[static_cast<size_t>(r * num_categories_ + c)] =
+          static_cast<float>(std::max(f, 0.0));
+    }
+  }
+  return Tensor::FromVector({regions, num_categories_}, std::move(out));
+}
+
+}  // namespace sthsl

@@ -1,0 +1,89 @@
+#ifndef STHSL_BASELINES_CLASSICAL_H_
+#define STHSL_BASELINES_CLASSICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+
+namespace sthsl {
+
+/// Historical average: predicts the training-window mean per (region,
+/// category), optionally day-of-week conditioned. The sanity floor every
+/// learned model must beat.
+class HistoricalAverage : public Forecaster {
+ public:
+  explicit HistoricalAverage(bool day_of_week = true)
+      : day_of_week_(day_of_week) {}
+
+  std::string Name() const override { return "HA"; }
+  void Fit(const CrimeDataset& data, int64_t train_end) override;
+  Tensor PredictDay(const CrimeDataset& data, int64_t t) override;
+
+ private:
+  bool day_of_week_;
+  int64_t num_regions_ = 0;
+  int64_t num_categories_ = 0;
+  // (7 or 1) x R x C mean table.
+  std::vector<float> means_;
+  int64_t buckets_ = 1;
+};
+
+/// ARIMA(p, d, q) fitted independently per (region, category) series using
+/// the Hannan-Rissanen two-stage procedure: a long-AR fit produces residual
+/// estimates, then AR and MA coefficients are obtained jointly by ordinary
+/// least squares. This is the classical-statistics baseline of Table III.
+class Arima : public Forecaster {
+ public:
+  Arima(int p = 3, int d = 1, int q = 1) : p_(p), d_(d), q_(q) {}
+
+  std::string Name() const override { return "ARIMA"; }
+  void Fit(const CrimeDataset& data, int64_t train_end) override;
+  Tensor PredictDay(const CrimeDataset& data, int64_t t) override;
+
+ private:
+  struct SeriesModel {
+    std::vector<double> ar;  // p coefficients
+    std::vector<double> ma;  // q coefficients
+    double intercept = 0.0;
+    // Forecast clamp derived from the training range; guards against
+    // explosive coefficient estimates on degenerate series.
+    double max_forecast = 0.0;
+  };
+
+  int p_;
+  int d_;
+  int q_;
+  int64_t num_regions_ = 0;
+  int64_t num_categories_ = 0;
+  std::vector<SeriesModel> models_;  // R * C
+};
+
+/// Linear support-vector regression on lagged features with the
+/// epsilon-insensitive loss, trained by stochastic subgradient descent.
+/// One model per category, shared across regions (regions are samples).
+class Svr : public Forecaster {
+ public:
+  Svr(int64_t lags = 7, float epsilon = 0.1f, float c = 1.0f,
+      int epochs = 40, uint64_t seed = 3)
+      : lags_(lags), epsilon_(epsilon), c_(c), epochs_(epochs), seed_(seed) {}
+
+  std::string Name() const override { return "SVM"; }
+  void Fit(const CrimeDataset& data, int64_t train_end) override;
+  Tensor PredictDay(const CrimeDataset& data, int64_t t) override;
+
+ private:
+  int64_t lags_;
+  float epsilon_;
+  float c_;
+  int epochs_;
+  uint64_t seed_;
+  int64_t num_categories_ = 0;
+  // Per category: lags_ weights + bias.
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace sthsl
+
+#endif  // STHSL_BASELINES_CLASSICAL_H_

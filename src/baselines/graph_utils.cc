@@ -1,0 +1,144 @@
+#include "baselines/graph_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sthsl {
+namespace {
+
+// Cosine similarity matrix (R x R) of region histories over [0, train_end).
+std::vector<double> RegionSimilarity(const CrimeDataset& data,
+                                     int64_t train_end) {
+  const int64_t regions = data.num_regions();
+  const int64_t cats = data.num_categories();
+  const int64_t dim = train_end * cats;
+  std::vector<double> features(static_cast<size_t>(regions * dim));
+  for (int64_t r = 0; r < regions; ++r) {
+    for (int64_t t = 0; t < train_end; ++t) {
+      for (int64_t c = 0; c < cats; ++c) {
+        features[static_cast<size_t>(r * dim + t * cats + c)] =
+            data.Count(r, t, c);
+      }
+    }
+  }
+  std::vector<double> norms(static_cast<size_t>(regions), 0.0);
+  for (int64_t r = 0; r < regions; ++r) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < dim; ++i) {
+      const double v = features[static_cast<size_t>(r * dim + i)];
+      acc += v * v;
+    }
+    norms[static_cast<size_t>(r)] = std::sqrt(std::max(acc, 1e-12));
+  }
+  std::vector<double> sim(static_cast<size_t>(regions * regions), 0.0);
+  for (int64_t a = 0; a < regions; ++a) {
+    for (int64_t b = a; b < regions; ++b) {
+      double dot = 0.0;
+      for (int64_t i = 0; i < dim; ++i) {
+        dot += features[static_cast<size_t>(a * dim + i)] *
+               features[static_cast<size_t>(b * dim + i)];
+      }
+      const double value =
+          dot / (norms[static_cast<size_t>(a)] * norms[static_cast<size_t>(b)]);
+      sim[static_cast<size_t>(a * regions + b)] = value;
+      sim[static_cast<size_t>(b * regions + a)] = value;
+    }
+  }
+  return sim;
+}
+
+void RowNormalize(std::vector<float>& matrix, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      sum += matrix[static_cast<size_t>(r * cols + c)];
+    }
+    if (sum <= 0.0f) continue;
+    for (int64_t c = 0; c < cols; ++c) {
+      matrix[static_cast<size_t>(r * cols + c)] /= sum;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor GridAdjacency(int64_t rows, int64_t cols) {
+  STHSL_CHECK(rows > 0 && cols > 0);
+  const int64_t regions = rows * cols;
+  std::vector<float> adj(static_cast<size_t>(regions * regions), 0.0f);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      const int64_t r = i * cols + j;
+      adj[static_cast<size_t>(r * regions + r)] = 1.0f;  // self-loop
+      const int64_t di[] = {-1, 1, 0, 0};
+      const int64_t dj[] = {0, 0, -1, 1};
+      for (int n = 0; n < 4; ++n) {
+        const int64_t ni = i + di[n];
+        const int64_t nj = j + dj[n];
+        if (ni < 0 || ni >= rows || nj < 0 || nj >= cols) continue;
+        adj[static_cast<size_t>(r * regions + ni * cols + nj)] = 1.0f;
+      }
+    }
+  }
+  RowNormalize(adj, regions, regions);
+  return Tensor::FromVector({regions, regions}, std::move(adj));
+}
+
+Tensor SimilarityAdjacency(const CrimeDataset& data, int64_t train_end,
+                           int64_t k) {
+  const int64_t regions = data.num_regions();
+  STHSL_CHECK(k > 0 && k < regions);
+  const std::vector<double> sim = RegionSimilarity(data, train_end);
+  std::vector<float> adj(static_cast<size_t>(regions * regions), 0.0f);
+  std::vector<int64_t> order(static_cast<size_t>(regions));
+  for (int64_t r = 0; r < regions; ++r) {
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + k + 1, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        return sim[static_cast<size_t>(r * regions + a)] >
+                               sim[static_cast<size_t>(r * regions + b)];
+                      });
+    adj[static_cast<size_t>(r * regions + r)] = 1.0f;
+    int64_t added = 0;
+    for (int64_t i = 0; i < regions && added < k; ++i) {
+      const int64_t neighbor = order[static_cast<size_t>(i)];
+      if (neighbor == r) continue;
+      adj[static_cast<size_t>(r * regions + neighbor)] = 1.0f;
+      ++added;
+    }
+  }
+  RowNormalize(adj, regions, regions);
+  return Tensor::FromVector({regions, regions}, std::move(adj));
+}
+
+Tensor StaticHypergraph(const CrimeDataset& data, int64_t train_end,
+                        int64_t num_edges, int64_t k) {
+  const int64_t regions = data.num_regions();
+  STHSL_CHECK(num_edges > 0 && k > 0 && k <= regions);
+  const std::vector<double> sim = RegionSimilarity(data, train_end);
+  std::vector<float> incidence(static_cast<size_t>(num_edges * regions),
+                               0.0f);
+  std::vector<int64_t> order(static_cast<size_t>(regions));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    // Seeds sweep the region space so hyperedges cover different localities.
+    const int64_t seed = (e * regions) / num_edges;
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        return sim[static_cast<size_t>(seed * regions + a)] >
+                               sim[static_cast<size_t>(seed * regions + b)];
+                      });
+    for (int64_t i = 0; i < k; ++i) {
+      incidence[static_cast<size_t>(e * regions + order[static_cast<size_t>(i)])] =
+          1.0f;
+    }
+  }
+  RowNormalize(incidence, num_edges, regions);
+  return Tensor::FromVector({num_edges, regions}, std::move(incidence));
+}
+
+}  // namespace sthsl

@@ -1,0 +1,29 @@
+#ifndef STHSL_BASELINES_GRAPH_UTILS_H_
+#define STHSL_BASELINES_GRAPH_UTILS_H_
+
+#include <cstdint>
+
+#include "data/crime_dataset.h"
+#include "tensor/tensor.h"
+
+namespace sthsl {
+
+/// Row-normalized 4-neighbour grid adjacency with self-loops, shape (R, R).
+/// The standard predefined graph of DCRNN/STGCN-style baselines.
+Tensor GridAdjacency(int64_t rows, int64_t cols);
+
+/// Row-normalized k-nearest-neighbour similarity graph built from cosine
+/// similarity of region crime histories over days [0, train_end). Used by
+/// baselines that consume a data-driven static graph.
+Tensor SimilarityAdjacency(const CrimeDataset& data, int64_t train_end,
+                           int64_t k);
+
+/// Static hypergraph incidence (num_edges, R) for ST-SHN: each hyperedge
+/// connects the `k` regions most similar to a seed region (seeds spread over
+/// the similarity ranking). Rows are normalized to sum to 1.
+Tensor StaticHypergraph(const CrimeDataset& data, int64_t train_end,
+                        int64_t num_edges, int64_t k);
+
+}  // namespace sthsl
+
+#endif  // STHSL_BASELINES_GRAPH_UTILS_H_

@@ -1,0 +1,90 @@
+#include "baselines/registry.h"
+
+#include "baselines/attention_models.h"
+#include "baselines/classical.h"
+#include "baselines/graph_models.h"
+#include "baselines/st_resnet.h"
+#include "baselines/stshn.h"
+#include "util/check.h"
+
+namespace sthsl {
+
+std::vector<std::string> AllModelNames() {
+  return {"HA",        "ARIMA",      "SVM",   "ST-ResNet", "DCRNN",
+          "STGCN",     "GWN",        "STtrans", "DeepCrime", "STDN",
+          "ST-MetaNet", "GMAN",      "AGCRN", "MTGNN",     "STSHN",
+          "DMSTGCN",   "ST-HSL"};
+}
+
+std::vector<std::string> EfficiencyStudyModelNames() {
+  return {"STGCN", "DMSTGCN", "STtrans", "GMAN",  "ST-MetaNet",
+          "DeepCrime", "STSHN", "DCRNN", "STDN", "ST-HSL"};
+}
+
+std::unique_ptr<Forecaster> MakeForecaster(
+    const std::string& name, const BaselineConfig& baseline_config,
+    const SthslConfig& sthsl_config) {
+  if (name == "HA") return std::make_unique<HistoricalAverage>();
+  if (name == "ARIMA") return std::make_unique<Arima>();
+  if (name == "SVM") return std::make_unique<Svr>();
+  if (name == "ST-ResNet") {
+    return std::make_unique<StResNetForecaster>(baseline_config);
+  }
+  if (name == "DCRNN") {
+    return std::make_unique<DcrnnForecaster>(baseline_config);
+  }
+  if (name == "STGCN") {
+    return std::make_unique<StgcnForecaster>(baseline_config);
+  }
+  if (name == "GWN") return std::make_unique<GwnForecaster>(baseline_config);
+  if (name == "STtrans") {
+    return std::make_unique<SttransForecaster>(baseline_config);
+  }
+  if (name == "DeepCrime") {
+    return std::make_unique<DeepCrimeForecaster>(baseline_config);
+  }
+  if (name == "STDN") {
+    return std::make_unique<StdnForecaster>(baseline_config);
+  }
+  if (name == "ST-MetaNet") {
+    return std::make_unique<StMetaNetForecaster>(baseline_config);
+  }
+  if (name == "GMAN") {
+    return std::make_unique<GmanForecaster>(baseline_config);
+  }
+  if (name == "AGCRN") {
+    return std::make_unique<AgcrnForecaster>(baseline_config);
+  }
+  if (name == "MTGNN") {
+    return std::make_unique<MtgnnForecaster>(baseline_config);
+  }
+  if (name == "STSHN") {
+    return std::make_unique<StshnForecaster>(baseline_config);
+  }
+  if (name == "DMSTGCN") {
+    return std::make_unique<DmstgcnForecaster>(baseline_config);
+  }
+  if (name == "ST-HSL") {
+    return std::make_unique<SthslForecaster>(sthsl_config);
+  }
+  STHSL_CHECK(false) << "unknown model name: " << name;
+  return nullptr;
+}
+
+ComparisonConfig MakeComparisonConfig(int64_t window, int64_t epochs,
+                                      int64_t steps_per_epoch,
+                                      uint64_t seed) {
+  ComparisonConfig config;
+  config.baseline.hidden = 16;
+  config.baseline.train.window = window;
+  config.baseline.train.epochs = epochs;
+  config.baseline.train.max_steps_per_epoch = steps_per_epoch;
+  config.baseline.train.seed = seed;
+
+  config.sthsl.dim = 16;
+  config.sthsl.num_hyperedges = 32;
+  config.sthsl.train = config.baseline.train;
+  return config;
+}
+
+}  // namespace sthsl

@@ -1,0 +1,38 @@
+#ifndef STHSL_BASELINES_REGISTRY_H_
+#define STHSL_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/deep_common.h"
+#include "core/forecaster.h"
+#include "core/sthsl_model.h"
+
+namespace sthsl {
+
+/// Names of all models of the paper's Table III, in the paper's row order
+/// (ARIMA ... DMSTGCN, ST-HSL), plus the extra "HA" sanity baseline.
+std::vector<std::string> AllModelNames();
+
+/// Table V's efficiency-study subset, in the paper's order.
+std::vector<std::string> EfficiencyStudyModelNames();
+
+/// Instantiates a forecaster by Table III name. `baseline_config` drives the
+/// baselines; `sthsl_config` drives "ST-HSL". Aborts on unknown names.
+std::unique_ptr<Forecaster> MakeForecaster(const std::string& name,
+                                           const BaselineConfig& baseline_config,
+                                           const SthslConfig& sthsl_config);
+
+/// Derives a matched pair of configurations (same window/epochs/seed/width)
+/// for a fair comparison at the given training scale.
+struct ComparisonConfig {
+  BaselineConfig baseline;
+  SthslConfig sthsl;
+};
+ComparisonConfig MakeComparisonConfig(int64_t window, int64_t epochs,
+                                      int64_t steps_per_epoch, uint64_t seed);
+
+}  // namespace sthsl
+
+#endif  // STHSL_BASELINES_REGISTRY_H_

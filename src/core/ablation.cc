@@ -1,0 +1,73 @@
+#include "core/ablation.h"
+
+#include "util/check.h"
+
+namespace sthsl {
+
+SthslConfig AblationVariant(const std::string& name, SthslConfig base) {
+  SthslConfig config = base;
+  if (name == "ST-HSL") {
+    return config;
+  }
+  if (name == "w/o S-Conv") {
+    config.use_spatial_conv = false;
+    return config;
+  }
+  if (name == "w/o T-Conv") {
+    config.use_temporal_conv = false;
+    return config;
+  }
+  if (name == "w/o C-Conv") {
+    config.use_category_conv = false;
+    return config;
+  }
+  if (name == "w/o Local") {
+    config.use_local_encoder = false;
+    return config;
+  }
+  if (name == "w/o Hyper") {
+    // Remove the hypergraph branch entirely; both self-supervised tasks
+    // depend on it, and prediction falls back to the local view.
+    config.use_hypergraph = false;
+    config.use_infomax = false;
+    config.use_contrastive = false;
+    config.prediction_source = PredictionSource::kLocal;
+    return config;
+  }
+  if (name == "w/o GlobalTem") {
+    config.use_global_temporal = false;
+    return config;
+  }
+  if (name == "w/o Infomax") {
+    config.use_infomax = false;
+    return config;
+  }
+  if (name == "w/o ConL") {
+    config.use_contrastive = false;
+    return config;
+  }
+  if (name == "w/o Global") {
+    // Like "w/o ConL" but predicting from the local encoder only.
+    config.use_contrastive = false;
+    config.prediction_source = PredictionSource::kLocal;
+    return config;
+  }
+  if (name == "Fusion w/o ConL") {
+    config.use_contrastive = false;
+    config.prediction_source = PredictionSource::kFusion;
+    return config;
+  }
+  STHSL_CHECK(false) << "unknown ablation variant: " << name;
+  return config;
+}
+
+std::vector<std::string> LocalEncoderVariantNames() {
+  return {"w/o S-Conv", "w/o T-Conv", "w/o C-Conv", "w/o Local", "ST-HSL"};
+}
+
+std::vector<std::string> SslVariantNames() {
+  return {"w/o Hyper",  "w/o GlobalTem",   "w/o Infomax", "w/o ConL",
+          "w/o Global", "Fusion w/o ConL", "ST-HSL"};
+}
+
+}  // namespace sthsl

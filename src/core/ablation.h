@@ -1,0 +1,30 @@
+#ifndef STHSL_CORE_ABLATION_H_
+#define STHSL_CORE_ABLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sthsl_model.h"
+
+namespace sthsl {
+
+/// Derives the configuration of a named ablation variant from a base
+/// configuration. Recognized names (matching the paper):
+///   Fig. 5 (multi-view local encoder):
+///     "w/o S-Conv", "w/o T-Conv", "w/o C-Conv", "w/o Local"
+///   Table IV (hypergraph dual-stage self-supervision):
+///     "w/o Hyper", "w/o GlobalTem", "w/o Infomax", "w/o ConL",
+///     "w/o Global", "Fusion w/o ConL"
+///   plus "ST-HSL" (the unmodified base).
+/// Aborts on an unknown name.
+SthslConfig AblationVariant(const std::string& name, SthslConfig base);
+
+/// Variant names of the Fig. 5 local-encoder study (plus the full model).
+std::vector<std::string> LocalEncoderVariantNames();
+
+/// Variant names of the Table IV self-supervision study (plus full model).
+std::vector<std::string> SslVariantNames();
+
+}  // namespace sthsl
+
+#endif  // STHSL_CORE_ABLATION_H_

@@ -1,0 +1,20 @@
+#include "core/forecaster.h"
+
+#include "util/check.h"
+
+namespace sthsl {
+
+CrimeMetrics EvaluateForecaster(Forecaster& model, const CrimeDataset& data,
+                                int64_t test_start, int64_t test_end) {
+  STHSL_CHECK(test_start > 0 && test_end <= data.num_days() &&
+              test_start < test_end)
+      << "invalid test range [" << test_start << ", " << test_end << ")";
+  CrimeMetrics metrics(data.num_regions(), data.num_categories());
+  for (int64_t t = test_start; t < test_end; ++t) {
+    Tensor pred = model.PredictDay(data, t);
+    metrics.AddDay(pred, data.TargetDay(t));
+  }
+  return metrics;
+}
+
+}  // namespace sthsl

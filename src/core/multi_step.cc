@@ -1,0 +1,83 @@
+#include "core/multi_step.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace sthsl {
+
+std::vector<Tensor> ForecastHorizon(Forecaster& model,
+                                    const CrimeDataset& data,
+                                    int64_t start_day, int64_t horizon) {
+  STHSL_CHECK(start_day > 0 && start_day <= data.num_days());
+  STHSL_CHECK_GT(horizon, 0);
+
+  // Rolling copy of the count tensor: forecasts overwrite future days so
+  // later steps condition on them. Work on a day-extended clone so the
+  // horizon may run past the dataset's end.
+  const int64_t regions = data.num_regions();
+  const int64_t cats = data.num_categories();
+  const int64_t needed_days = start_day + horizon;
+  NoGradGuard no_grad;
+
+  std::vector<float> rolling(
+      static_cast<size_t>(regions * needed_days * cats), 0.0f);
+  const auto& source = data.counts().Data();
+  const int64_t source_days = data.num_days();
+  for (int64_t r = 0; r < regions; ++r) {
+    const int64_t copy_days = std::min(needed_days, source_days);
+    std::copy(source.begin() + r * source_days * cats,
+              source.begin() + (r * source_days + copy_days) * cats,
+              rolling.begin() + r * needed_days * cats);
+  }
+
+  std::vector<Tensor> forecasts;
+  forecasts.reserve(static_cast<size_t>(horizon));
+  for (int64_t h = 0; h < horizon; ++h) {
+    CrimeDataset view(data.city_name(), data.rows(), data.cols(),
+                      data.category_names(),
+                      Tensor::FromVector({regions, needed_days, cats},
+                                         rolling));
+    Tensor pred = ClampMin(model.PredictDay(view, start_day + h), 0.0f);
+    forecasts.push_back(pred);
+    // Feed the prediction back as the "observed" day start_day + h.
+    const auto& pv = pred.Data();
+    for (int64_t r = 0; r < regions; ++r) {
+      for (int64_t c = 0; c < cats; ++c) {
+        rolling[static_cast<size_t>(
+            (r * needed_days + start_day + h) * cats + c)] =
+            pv[static_cast<size_t>(r * cats + c)];
+      }
+    }
+  }
+  return forecasts;
+}
+
+std::vector<EvalResult> EvaluateHorizon(Forecaster& model,
+                                        const CrimeDataset& data,
+                                        int64_t test_start, int64_t test_end,
+                                        int64_t horizon) {
+  STHSL_CHECK(test_start > 0 && test_end <= data.num_days() &&
+              test_start < test_end);
+  STHSL_CHECK_GT(horizon, 0);
+  std::vector<CrimeMetrics> per_lead(
+      static_cast<size_t>(horizon),
+      CrimeMetrics(data.num_regions(), data.num_categories()));
+
+  for (int64_t start = test_start; start + horizon <= test_end; ++start) {
+    const std::vector<Tensor> forecasts =
+        ForecastHorizon(model, data, start, horizon);
+    for (int64_t h = 0; h < horizon; ++h) {
+      per_lead[static_cast<size_t>(h)].AddDay(
+          forecasts[static_cast<size_t>(h)], data.TargetDay(start + h));
+    }
+  }
+
+  std::vector<EvalResult> results;
+  results.reserve(static_cast<size_t>(horizon));
+  for (const auto& metrics : per_lead) results.push_back(metrics.Overall());
+  return results;
+}
+
+}  // namespace sthsl

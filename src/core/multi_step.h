@@ -1,0 +1,37 @@
+#ifndef STHSL_CORE_MULTI_STEP_H_
+#define STHSL_CORE_MULTI_STEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "data/crime_dataset.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor.h"
+
+namespace sthsl {
+
+/// Multi-day forecasting — an extension beyond the paper's single-day task.
+/// The fitted single-step forecaster is rolled forward recursively: each
+/// predicted day is appended to the history and fed back as input for the
+/// next step (the standard iterated strategy for one-step forecasters).
+///
+/// Returns `horizon` matrices of shape (R, C): the forecasts for days
+/// `start_day, start_day + 1, ..., start_day + horizon - 1`, using true
+/// data only before `start_day`.
+std::vector<Tensor> ForecastHorizon(Forecaster& model,
+                                    const CrimeDataset& data,
+                                    int64_t start_day, int64_t horizon);
+
+/// Per-lead-time evaluation of iterated forecasts across the test span: for
+/// each lead h in [1, horizon], forecasts launched from every admissible
+/// start day are scored against the truth at start+h-1. Element h-1 of the
+/// result aggregates lead-h accuracy (errors grow with lead time).
+std::vector<EvalResult> EvaluateHorizon(Forecaster& model,
+                                        const CrimeDataset& data,
+                                        int64_t test_start, int64_t test_end,
+                                        int64_t horizon);
+
+}  // namespace sthsl
+
+#endif  // STHSL_CORE_MULTI_STEP_H_

@@ -1,0 +1,201 @@
+#include "core/neural_forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sthsl {
+
+Tensor NeuralForecaster::Loss(const Tensor& pred, const Tensor& target) {
+  return MseLoss(pred, target);
+}
+
+void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
+  const int64_t window = train_config_.window;
+  STHSL_CHECK(train_end > window && train_end <= data.num_days())
+      << "train_end " << train_end << " incompatible with window " << window;
+
+  Prepare(data, train_end);
+  Module* root = RootModule();
+  STHSL_CHECK(root != nullptr);
+  optimizer_ = std::make_unique<Adam>(root->Parameters(), train_config_.lr,
+                                      0.9f, 0.999f, 1e-8f,
+                                      train_config_.weight_decay);
+  root->SetTraining(true);
+
+  // Validation split: the last `validation_days` of the training span
+  // drive model selection (the paper's protocol).
+  int64_t validation_days =
+      std::min(train_config_.validation_days, train_end - window - 1);
+  if (validation_days < 0) validation_days = 0;
+  const int64_t fit_end = train_end - validation_days;
+
+  // Validation days stay in the training pool (each is visited rarely under
+  // stochastic subsampling); they additionally drive snapshot selection.
+  std::vector<int64_t> targets;
+  for (int64_t t = window; t < train_end; ++t) targets.push_back(t);
+  STHSL_CHECK(!targets.empty())
+      << "no training targets: train_end too small for the window";
+
+  std::vector<int64_t> validation_targets;
+  if (validation_days > 0) {
+    const int64_t max_days = std::max<int64_t>(
+        1, std::min(train_config_.validation_max_days, validation_days));
+    const int64_t stride = std::max<int64_t>(1, validation_days / max_days);
+    for (int64_t t = fit_end; t < train_end; t += stride) {
+      validation_targets.push_back(t);
+    }
+  }
+
+  // Best-on-validation snapshot of all parameter buffers.
+  double best_validation = std::numeric_limits<double>::infinity();
+  int64_t checks_without_improvement = 0;
+  std::vector<std::vector<float>> best_params;
+  const auto params = root->Parameters();
+
+  // Polyak (EMA) shadow of the parameters; validation and the final model
+  // use the shadow, which is far less noisy than the last SGD iterate.
+  const float ema_decay = train_config_.ema_decay;
+  std::vector<std::vector<float>> ema;
+  if (ema_decay > 0.0f) {
+    for (const auto& p : params) ema.push_back(p.Data());
+  }
+  auto update_ema = [&]() {
+    if (ema_decay <= 0.0f) return;
+    for (size_t i = 0; i < params.size(); ++i) {
+      const auto& current = params[i].Data();
+      auto& shadow = ema[i];
+      for (size_t j = 0; j < shadow.size(); ++j) {
+        shadow[j] = ema_decay * shadow[j] + (1.0f - ema_decay) * current[j];
+      }
+    }
+  };
+  // Temporarily swaps the EMA shadow into the live parameters.
+  auto swap_with_ema = [&]() {
+    if (ema_decay <= 0.0f) return;
+    for (size_t i = 0; i < params.size(); ++i) {
+      const_cast<Tensor&>(params[i]).MutableData().swap(ema[i]);
+    }
+  };
+
+  auto validate = [&]() {
+    NoGradGuard no_grad;
+    root->SetTraining(false);
+    CrimeMetrics metrics(data.num_regions(), data.num_categories());
+    for (int64_t t : validation_targets) {
+      current_target_day_ = t;
+      Tensor pred = Forward(data.WindowInput(t, window), /*training=*/false);
+      metrics.AddDay(ClampMin(pred, 0.0f), data.TargetDay(t));
+    }
+    root->SetTraining(true);
+    const EvalResult overall = metrics.Overall();
+    // Masked MAE matches the test metric; fall back to 0 when the span has
+    // no positive entries (then any snapshot is as good as another).
+    return overall.evaluated_entries > 0 ? overall.mae : 0.0;
+  };
+
+  epoch_seconds_.clear();
+  for (int64_t epoch = 0; epoch < train_config_.epochs; ++epoch) {
+    Timer timer;
+    if (train_config_.cosine_lr && train_config_.epochs > 1) {
+      const double progress = static_cast<double>(epoch) /
+                              static_cast<double>(train_config_.epochs - 1);
+      const double scale =
+          train_config_.lr_floor +
+          (1.0 - train_config_.lr_floor) * 0.5 * (1.0 + std::cos(M_PI * progress));
+      optimizer_->SetLr(train_config_.lr * static_cast<float>(scale));
+    }
+    rng_.Shuffle(targets);
+    const int64_t batch = std::max<int64_t>(1, train_config_.batch_size);
+    const int64_t steps = std::min<int64_t>(
+        train_config_.max_steps_per_epoch,
+        (static_cast<int64_t>(targets.size()) + batch - 1) / batch);
+    double epoch_loss = 0.0;
+    int64_t cursor = 0;
+    for (int64_t step = 0; step < steps; ++step) {
+      optimizer_->ZeroGrad();
+      int64_t accumulated = 0;
+      // Gradient accumulation over `batch` windows approximates mini-batch
+      // training on a framework without a leading batch dimension.
+      for (int64_t b = 0;
+           b < batch && cursor < static_cast<int64_t>(targets.size());
+           ++b, ++cursor) {
+        const int64_t t = targets[static_cast<size_t>(cursor)];
+        Tensor input = data.WindowInput(t, window);
+        Tensor target = data.TargetDay(t);
+        current_target_day_ = t;
+        Tensor pred = Forward(input, /*training=*/true);
+        Tensor loss = MulScalar(Loss(pred, target),
+                                1.0f / static_cast<float>(batch));
+        loss.Backward();
+        epoch_loss += loss.Item() * static_cast<double>(batch);
+        ++accumulated;
+      }
+      if (accumulated > 0) {
+        optimizer_->Step();
+        update_ema();
+      }
+    }
+    epoch_seconds_.push_back(timer.ElapsedSeconds());
+
+    const bool last_epoch = epoch + 1 == train_config_.epochs;
+    if (!validation_targets.empty() &&
+        (last_epoch || (epoch + 1) % train_config_.validation_every == 0)) {
+      swap_with_ema();  // validate the averaged parameters
+      const double score = validate();
+      if (score < best_validation) {
+        best_validation = score;
+        best_params.clear();
+        for (const auto& p : params) best_params.push_back(p.Data());
+        checks_without_improvement = 0;
+      } else {
+        ++checks_without_improvement;
+      }
+      swap_with_ema();  // restore the raw iterate for further training
+      if (train_config_.verbose) {
+        STHSL_LOG(Info) << Name() << " epoch " << epoch + 1 << " loss "
+                        << epoch_loss / std::max<int64_t>(steps, 1)
+                        << " val-mae " << score;
+      }
+    } else if (train_config_.verbose) {
+      STHSL_LOG(Info) << Name() << " epoch " << epoch + 1 << "/"
+                      << train_config_.epochs << " loss "
+                      << epoch_loss / std::max<int64_t>(steps, 1) << " ("
+                      << epoch_seconds_.back() << "s)";
+    }
+    if (train_config_.early_stop_patience > 0 &&
+        checks_without_improvement >= train_config_.early_stop_patience) {
+      break;  // converged: no validation improvement for `patience` checks
+    }
+  }
+
+  if (!best_params.empty()) {
+    // Final model: the best-on-validation (EMA) snapshot.
+    for (size_t i = 0; i < params.size(); ++i) {
+      const_cast<Tensor&>(params[i]).MutableData() = best_params[i];
+    }
+  } else if (ema_decay > 0.0f) {
+    swap_with_ema();  // no validation ran: keep the averaged parameters
+  }
+  root->SetTraining(false);
+}
+
+Tensor NeuralForecaster::PredictDay(const CrimeDataset& data, int64_t t) {
+  Module* root = RootModule();
+  STHSL_CHECK(root != nullptr);
+  root->SetTraining(false);
+  NoGradGuard no_grad;
+  current_target_day_ = t;
+  Tensor input = data.WindowInput(t, train_config_.window);
+  Tensor pred = Forward(input, /*training=*/false);
+  // Crime counts are non-negative; clamp at zero for evaluation.
+  return ClampMin(pred, 0.0f);
+}
+
+}  // namespace sthsl

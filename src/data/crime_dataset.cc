@@ -1,0 +1,218 @@
+#include "data/crime_dataset.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace sthsl {
+
+CrimeDataset::CrimeDataset(std::string city_name, int64_t rows, int64_t cols,
+                           std::vector<std::string> category_names,
+                           Tensor counts)
+    : city_name_(std::move(city_name)),
+      rows_(rows),
+      cols_(cols),
+      category_names_(std::move(category_names)),
+      counts_(std::move(counts)) {
+  STHSL_CHECK(counts_.Defined());
+  STHSL_CHECK_EQ(counts_.Dim(), 3) << "counts must be (R, T, C)";
+  STHSL_CHECK_EQ(counts_.Size(0), rows_ * cols_) << "region count mismatch";
+  STHSL_CHECK_EQ(counts_.Size(2),
+                 static_cast<int64_t>(category_names_.size()))
+      << "category count mismatch";
+}
+
+int64_t CrimeDataset::num_days() const { return counts_.Size(1); }
+int64_t CrimeDataset::num_categories() const { return counts_.Size(2); }
+
+float CrimeDataset::Count(int64_t r, int64_t t, int64_t c) const {
+  return counts_.At({r, t, c});
+}
+
+double CrimeDataset::CategoryTotal(int64_t c) const {
+  const int64_t regions = num_regions();
+  const int64_t days = num_days();
+  const int64_t cats = num_categories();
+  STHSL_CHECK(c >= 0 && c < cats);
+  const auto& data = counts_.Data();
+  double total = 0.0;
+  for (int64_t r = 0; r < regions; ++r) {
+    for (int64_t t = 0; t < days; ++t) {
+      total += data[static_cast<size_t>((r * days + t) * cats + c)];
+    }
+  }
+  return total;
+}
+
+double CrimeDataset::DensityDegree(int64_t r) const {
+  const int64_t days = num_days();
+  const int64_t cats = num_categories();
+  STHSL_CHECK(r >= 0 && r < num_regions());
+  const auto& data = counts_.Data();
+  int64_t active_days = 0;
+  for (int64_t t = 0; t < days; ++t) {
+    for (int64_t c = 0; c < cats; ++c) {
+      if (data[static_cast<size_t>((r * days + t) * cats + c)] > 0.0f) {
+        ++active_days;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(active_days) / static_cast<double>(days);
+}
+
+double CrimeDataset::DensityDegree(int64_t r, int64_t c) const {
+  const int64_t days = num_days();
+  const int64_t cats = num_categories();
+  STHSL_CHECK(r >= 0 && r < num_regions());
+  STHSL_CHECK(c >= 0 && c < cats);
+  const auto& data = counts_.Data();
+  int64_t active_days = 0;
+  for (int64_t t = 0; t < days; ++t) {
+    if (data[static_cast<size_t>((r * days + t) * cats + c)] > 0.0f) {
+      ++active_days;
+    }
+  }
+  return static_cast<double>(active_days) / static_cast<double>(days);
+}
+
+void CrimeDataset::ComputeMoments(float* mean, float* stddev) const {
+  const auto& data = counts_.Data();
+  STHSL_CHECK(!data.empty());
+  double sum = 0.0;
+  for (float v : data) sum += v;
+  const double mu = sum / static_cast<double>(data.size());
+  double var = 0.0;
+  for (float v : data) var += (v - mu) * (v - mu);
+  var /= static_cast<double>(data.size());
+  *mean = static_cast<float>(mu);
+  *stddev = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+}
+
+CrimeDataset CrimeDataset::SliceDays(int64_t start, int64_t length) const {
+  NoGradGuard no_grad;
+  Tensor sliced = Narrow(counts_, 1, start, length);
+  return CrimeDataset(city_name_, rows_, cols_, category_names_,
+                      sliced.Detach());
+}
+
+Tensor CrimeDataset::WindowInput(int64_t t_end, int64_t window) const {
+  STHSL_CHECK(t_end - window >= 0 && t_end <= num_days())
+      << "window [" << t_end - window << ", " << t_end << ") out of range";
+  NoGradGuard no_grad;
+  return Narrow(counts_, 1, t_end - window, window).Detach();
+}
+
+Tensor CrimeDataset::TargetDay(int64_t t) const {
+  STHSL_CHECK(t >= 0 && t < num_days());
+  NoGradGuard no_grad;
+  Tensor day = Narrow(counts_, 1, t, 1);
+  return Reshape(day, {num_regions(), num_categories()}).Detach();
+}
+
+Status CrimeDataset::SaveCsv(const std::string& path) const {
+  CsvTable table;
+  table.header = {"city", "rows", "cols", "region", "day", "category",
+                  "category_name", "count"};
+  const int64_t regions = num_regions();
+  const int64_t days = num_days();
+  const int64_t cats = num_categories();
+  const auto& data = counts_.Data();
+  // A sentinel row records the full extent so zero-tail days round-trip.
+  // It is written FIRST so that a genuine count at the same cell (written
+  // below) overwrites it on load.
+  table.rows.push_back({city_name_, std::to_string(rows_),
+                        std::to_string(cols_), std::to_string(regions - 1),
+                        std::to_string(days - 1), std::to_string(cats - 1),
+                        category_names_[static_cast<size_t>(cats - 1)], "0"});
+  for (int64_t r = 0; r < regions; ++r) {
+    for (int64_t t = 0; t < days; ++t) {
+      for (int64_t c = 0; c < cats; ++c) {
+        const float v = data[static_cast<size_t>((r * days + t) * cats + c)];
+        if (v == 0.0f) continue;  // sparse storage
+        table.rows.push_back({city_name_, std::to_string(rows_),
+                              std::to_string(cols_), std::to_string(r),
+                              std::to_string(t), std::to_string(c),
+                              category_names_[static_cast<size_t>(c)],
+                              std::to_string(static_cast<int64_t>(v))});
+      }
+    }
+  }
+  return WriteCsv(path, table);
+}
+
+Result<CrimeDataset> CrimeDataset::LoadCsv(const std::string& path) {
+  auto table_or = ReadCsv(path);
+  if (!table_or.ok()) return table_or.status();
+  const CsvTable& table = table_or.value();
+  if (table.header.size() != 8) {
+    return Status::InvalidArgument("unexpected crime csv header in " + path);
+  }
+  if (table.rows.empty()) {
+    return Status::InvalidArgument("empty crime csv " + path);
+  }
+
+  std::string city;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t max_day = 0;
+  int64_t max_cat = 0;
+  for (const auto& row : table.rows) {
+    if (row.size() != 8) {
+      return Status::InvalidArgument("malformed crime csv row in " + path);
+    }
+    city = row[0];
+    rows = std::atoll(row[1].c_str());
+    cols = std::atoll(row[2].c_str());
+    max_day = std::max<int64_t>(max_day, std::atoll(row[4].c_str()));
+    max_cat = std::max<int64_t>(max_cat, std::atoll(row[5].c_str()));
+  }
+  const int64_t regions = rows * cols;
+  const int64_t days = max_day + 1;
+  const int64_t cats = max_cat + 1;
+  if (regions <= 0 || days <= 0 || cats <= 0) {
+    return Status::InvalidArgument("invalid dimensions in crime csv " + path);
+  }
+
+  std::vector<std::string> category_names(static_cast<size_t>(cats));
+  std::vector<float> data(static_cast<size_t>(regions * days * cats), 0.0f);
+  for (const auto& row : table.rows) {
+    const int64_t r = std::atoll(row[3].c_str());
+    const int64_t t = std::atoll(row[4].c_str());
+    const int64_t c = std::atoll(row[5].c_str());
+    if (r < 0 || r >= regions || t < 0 || t >= days || c < 0 || c >= cats) {
+      return Status::OutOfRange("index out of range in crime csv " + path);
+    }
+    category_names[static_cast<size_t>(c)] = row[6];
+    data[static_cast<size_t>((r * days + t) * cats + c)] =
+        static_cast<float>(std::atof(row[7].c_str()));
+  }
+  for (auto& name : category_names) {
+    if (name.empty()) name = "unknown";
+  }
+  Tensor counts = Tensor::FromVector({regions, days, cats}, std::move(data));
+  return CrimeDataset(city, rows, cols, std::move(category_names),
+                      std::move(counts));
+}
+
+DatasetSplit SplitDataset(const CrimeDataset& data, int64_t validation_days) {
+  const int64_t days = data.num_days();
+  const int64_t test_days = days / 8;
+  const int64_t train_span = days - test_days;
+  STHSL_CHECK_GT(train_span, validation_days)
+      << "dataset too short for the requested validation window";
+  DatasetSplit split;
+  split.train = data.SliceDays(0, train_span - validation_days);
+  split.validation =
+      data.SliceDays(train_span - validation_days, validation_days);
+  split.test = data.SliceDays(train_span, test_days);
+  split.train_days = train_span - validation_days;
+  split.validation_days = validation_days;
+  split.test_days = test_days;
+  return split;
+}
+
+}  // namespace sthsl

@@ -1,0 +1,161 @@
+#include "data/incidents.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace sthsl {
+namespace {
+
+constexpr int64_t kSecondsPerDay = 24 * 60 * 60;
+
+}  // namespace
+
+Result<RasterizeResult> RasterizeIncidents(
+    const std::vector<IncidentRecord>& records, const GridSpec& grid,
+    const std::vector<std::string>& categories, int64_t epoch_seconds,
+    int64_t num_days, const std::string& city_name) {
+  if (grid.rows <= 0 || grid.cols <= 0) {
+    return Status::InvalidArgument("grid must have positive extents");
+  }
+  if (grid.max_longitude <= grid.min_longitude ||
+      grid.max_latitude <= grid.min_latitude) {
+    return Status::InvalidArgument("degenerate bounding box");
+  }
+  if (categories.empty() || num_days <= 0) {
+    return Status::InvalidArgument("need categories and a positive day span");
+  }
+
+  std::unordered_map<std::string, int64_t> category_index;
+  for (size_t i = 0; i < categories.size(); ++i) {
+    category_index[categories[i]] = static_cast<int64_t>(i);
+  }
+
+  const int64_t regions = grid.rows * grid.cols;
+  const int64_t cats = static_cast<int64_t>(categories.size());
+  std::vector<float> counts(static_cast<size_t>(regions * num_days * cats),
+                            0.0f);
+  const double lon_span = grid.max_longitude - grid.min_longitude;
+  const double lat_span = grid.max_latitude - grid.min_latitude;
+
+  RasterizeResult result;
+  for (const auto& record : records) {
+    const auto it = category_index.find(record.category);
+    if (it == category_index.end()) {
+      ++result.dropped_unknown_category;
+      continue;
+    }
+    const int64_t day = (record.timestamp_seconds - epoch_seconds) /
+                        kSecondsPerDay;
+    if (record.timestamp_seconds < epoch_seconds || day >= num_days) {
+      ++result.dropped_out_of_bounds;
+      continue;
+    }
+    // Cell indices; the max edge is mapped into the last cell.
+    const double lon_frac =
+        (record.longitude - grid.min_longitude) / lon_span;
+    const double lat_frac = (record.latitude - grid.min_latitude) / lat_span;
+    if (lon_frac < 0.0 || lon_frac > 1.0 || lat_frac < 0.0 ||
+        lat_frac > 1.0) {
+      ++result.dropped_out_of_bounds;
+      continue;
+    }
+    const int64_t col = std::min(
+        static_cast<int64_t>(lon_frac * static_cast<double>(grid.cols)),
+        grid.cols - 1);
+    const int64_t row = std::min(
+        static_cast<int64_t>(lat_frac * static_cast<double>(grid.rows)),
+        grid.rows - 1);
+    const int64_t region = row * grid.cols + col;
+    counts[static_cast<size_t>((region * num_days + day) * cats +
+                               it->second)] += 1.0f;
+    ++result.accepted;
+  }
+
+  Tensor tensor =
+      Tensor::FromVector({regions, num_days, cats}, std::move(counts));
+  result.dataset = CrimeDataset(city_name, grid.rows, grid.cols, categories,
+                                std::move(tensor));
+  return result;
+}
+
+Result<std::vector<IncidentRecord>> LoadIncidentsCsv(
+    const std::string& path) {
+  auto table_or = ReadCsv(path);
+  if (!table_or.ok()) return table_or.status();
+  const CsvTable& table = table_or.value();
+  if (table.header.size() != 4 || table.header[0] != "category") {
+    return Status::InvalidArgument("unexpected incidents csv header in " +
+                                   path);
+  }
+  std::vector<IncidentRecord> records;
+  records.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    if (row.size() != 4) {
+      return Status::InvalidArgument("malformed incidents row in " + path);
+    }
+    IncidentRecord record;
+    record.category = row[0];
+    record.timestamp_seconds = std::atoll(row[1].c_str());
+    record.longitude = std::atof(row[2].c_str());
+    record.latitude = std::atof(row[3].c_str());
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status SaveIncidentsCsv(const std::string& path,
+                        const std::vector<IncidentRecord>& records) {
+  CsvTable table;
+  table.header = {"category", "timestamp", "longitude", "latitude"};
+  table.rows.reserve(records.size());
+  for (const auto& record : records) {
+    table.rows.push_back({record.category,
+                          std::to_string(record.timestamp_seconds),
+                          std::to_string(record.longitude),
+                          std::to_string(record.latitude)});
+  }
+  return WriteCsv(path, table);
+}
+
+std::vector<IncidentRecord> SynthesizeIncidents(const CrimeDataset& data,
+                                                const GridSpec& grid,
+                                                int64_t epoch_seconds,
+                                                Rng& rng) {
+  STHSL_CHECK_EQ(grid.rows, data.rows());
+  STHSL_CHECK_EQ(grid.cols, data.cols());
+  std::vector<IncidentRecord> records;
+  const double lon_cell =
+      (grid.max_longitude - grid.min_longitude) / grid.cols;
+  const double lat_cell = (grid.max_latitude - grid.min_latitude) / grid.rows;
+  for (int64_t r = 0; r < data.num_regions(); ++r) {
+    const int64_t row = r / data.cols();
+    const int64_t col = r % data.cols();
+    for (int64_t t = 0; t < data.num_days(); ++t) {
+      for (int64_t c = 0; c < data.num_categories(); ++c) {
+        const int count = static_cast<int>(data.Count(r, t, c));
+        for (int i = 0; i < count; ++i) {
+          IncidentRecord record;
+          record.category =
+              data.category_names()[static_cast<size_t>(c)];
+          record.timestamp_seconds =
+              epoch_seconds + t * kSecondsPerDay +
+              static_cast<int64_t>(rng.UniformInt(kSecondsPerDay));
+          record.longitude = grid.min_longitude +
+                             (col + rng.Uniform()) * lon_cell;
+          record.latitude =
+              grid.min_latitude + (row + rng.Uniform()) * lat_cell;
+          records.push_back(std::move(record));
+        }
+      }
+    }
+  }
+  rng.Shuffle(records);  // raw feeds are not grid-ordered
+  return records;
+}
+
+}  // namespace sthsl

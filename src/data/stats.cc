@@ -1,0 +1,69 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sthsl {
+
+std::vector<int64_t> DensityHistogram(const CrimeDataset& data,
+                                      double bin_width) {
+  STHSL_CHECK_GT(bin_width, 0.0);
+  const int num_bins =
+      static_cast<int>(std::ceil(1.0 / bin_width - 1e-9));
+  std::vector<int64_t> histogram(static_cast<size_t>(num_bins), 0);
+  for (int64_t r = 0; r < data.num_regions(); ++r) {
+    const double density = data.DensityDegree(r);
+    int bin = density <= 0.0
+                  ? 0
+                  : static_cast<int>(std::ceil(density / bin_width)) - 1;
+    bin = std::min(bin, num_bins - 1);
+    ++histogram[static_cast<size_t>(bin)];
+  }
+  return histogram;
+}
+
+std::vector<double> SortedRegionCounts(const CrimeDataset& data, int64_t c,
+                                       int64_t start, int64_t length) {
+  STHSL_CHECK(start >= 0 && start + length <= data.num_days());
+  std::vector<double> totals(static_cast<size_t>(data.num_regions()), 0.0);
+  for (int64_t r = 0; r < data.num_regions(); ++r) {
+    for (int64_t t = start; t < start + length; ++t) {
+      totals[static_cast<size_t>(r)] += data.Count(r, t, c);
+    }
+  }
+  std::sort(totals.begin(), totals.end(), std::greater<double>());
+  return totals;
+}
+
+std::vector<int64_t> RegionsInDensityRange(const CrimeDataset& data,
+                                           double lo, double hi) {
+  std::vector<int64_t> regions;
+  for (int64_t r = 0; r < data.num_regions(); ++r) {
+    const double density = data.DensityDegree(r);
+    if (density > lo && density <= hi) regions.push_back(r);
+  }
+  return regions;
+}
+
+double SpatialGini(const CrimeDataset& data, int64_t c) {
+  std::vector<double> totals(static_cast<size_t>(data.num_regions()), 0.0);
+  double sum = 0.0;
+  for (int64_t r = 0; r < data.num_regions(); ++r) {
+    for (int64_t t = 0; t < data.num_days(); ++t) {
+      totals[static_cast<size_t>(r)] += data.Count(r, t, c);
+    }
+    sum += totals[static_cast<size_t>(r)];
+  }
+  if (sum <= 0.0) return 0.0;
+  std::sort(totals.begin(), totals.end());
+  const double n = static_cast<double>(totals.size());
+  double weighted = 0.0;
+  for (size_t i = 0; i < totals.size(); ++i) {
+    weighted += (2.0 * (static_cast<double>(i) + 1.0) - n - 1.0) * totals[i];
+  }
+  return weighted / (n * sum);
+}
+
+}  // namespace sthsl

@@ -1,0 +1,149 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace sthsl {
+
+CrimeMetrics::CrimeMetrics(int64_t num_regions, int64_t num_categories)
+    : num_regions_(num_regions), num_categories_(num_categories) {
+  STHSL_CHECK_GT(num_regions, 0);
+  STHSL_CHECK_GT(num_categories, 0);
+  cells_.resize(static_cast<size_t>(num_regions * num_categories));
+}
+
+void CrimeMetrics::AddDay(const Tensor& pred, const Tensor& truth) {
+  STHSL_CHECK_EQ(pred.Dim(), 2);
+  STHSL_CHECK_EQ(pred.Size(0), num_regions_);
+  STHSL_CHECK_EQ(pred.Size(1), num_categories_);
+  STHSL_CHECK(truth.Shape() == pred.Shape()) << "pred/truth shape mismatch";
+  const auto& pv = pred.Data();
+  const auto& tv = truth.Data();
+  std::vector<double> predicted_totals(static_cast<size_t>(num_regions_),
+                                       0.0);
+  std::vector<double> actual_totals(static_cast<size_t>(num_regions_), 0.0);
+  for (int64_t r = 0; r < num_regions_; ++r) {
+    for (int64_t c = 0; c < num_categories_; ++c) {
+      const size_t i = static_cast<size_t>(r * num_categories_ + c);
+      predicted_totals[static_cast<size_t>(r)] += pv[i];
+      actual_totals[static_cast<size_t>(r)] += tv[i];
+      const float actual = tv[i];
+      if (actual <= 0.0f) continue;
+      const double abs_err = std::fabs(static_cast<double>(pv[i]) - actual);
+      auto& cell = cells_[i];
+      cell.abs_err_sum += abs_err;
+      cell.ape_sum += abs_err / actual;
+      cell.sq_err_sum += abs_err * abs_err;
+      ++cell.positive_entries;
+    }
+  }
+
+  DayRanking ranking;
+  ranking.predicted_order.resize(static_cast<size_t>(num_regions_));
+  ranking.actual_order.resize(static_cast<size_t>(num_regions_));
+  std::iota(ranking.predicted_order.begin(), ranking.predicted_order.end(),
+            0);
+  std::iota(ranking.actual_order.begin(), ranking.actual_order.end(), 0);
+  std::sort(ranking.predicted_order.begin(), ranking.predicted_order.end(),
+            [&](int64_t a, int64_t b) {
+              return predicted_totals[static_cast<size_t>(a)] >
+                     predicted_totals[static_cast<size_t>(b)];
+            });
+  std::sort(ranking.actual_order.begin(), ranking.actual_order.end(),
+            [&](int64_t a, int64_t b) {
+              return actual_totals[static_cast<size_t>(a)] >
+                     actual_totals[static_cast<size_t>(b)];
+            });
+  day_rankings_.push_back(std::move(ranking));
+  ++days_added_;
+}
+
+double CrimeMetrics::HitRateAtK(int64_t k) const {
+  STHSL_CHECK(k > 0 && k <= num_regions_);
+  if (day_rankings_.empty()) return 0.0;
+  int64_t hits = 0;
+  for (const auto& ranking : day_rankings_) {
+    std::vector<bool> actual_top(static_cast<size_t>(num_regions_), false);
+    for (int64_t i = 0; i < k; ++i) {
+      actual_top[static_cast<size_t>(
+          ranking.actual_order[static_cast<size_t>(i)])] = true;
+    }
+    bool hit = false;
+    for (int64_t i = 0; i < k && !hit; ++i) {
+      hit = actual_top[static_cast<size_t>(
+          ranking.predicted_order[static_cast<size_t>(i)])];
+    }
+    hits += hit;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(day_rankings_.size());
+}
+
+EvalResult CrimeMetrics::Aggregate(
+    const std::vector<const Cell*>& cells) const {
+  EvalResult result;
+  double abs_sum = 0.0;
+  double ape_sum = 0.0;
+  double sq_sum = 0.0;
+  int64_t entries = 0;
+  for (const Cell* cell : cells) {
+    abs_sum += cell->abs_err_sum;
+    ape_sum += cell->ape_sum;
+    sq_sum += cell->sq_err_sum;
+    entries += cell->positive_entries;
+  }
+  result.evaluated_entries = entries;
+  if (entries > 0) {
+    result.mae = abs_sum / static_cast<double>(entries);
+    result.mape = ape_sum / static_cast<double>(entries);
+    result.rmse = std::sqrt(sq_sum / static_cast<double>(entries));
+  }
+  return result;
+}
+
+EvalResult CrimeMetrics::Category(int64_t c) const {
+  STHSL_CHECK(c >= 0 && c < num_categories_);
+  std::vector<const Cell*> cells;
+  cells.reserve(static_cast<size_t>(num_regions_));
+  for (int64_t r = 0; r < num_regions_; ++r) {
+    cells.push_back(&cells_[static_cast<size_t>(r * num_categories_ + c)]);
+  }
+  return Aggregate(cells);
+}
+
+EvalResult CrimeMetrics::CategoryForRegions(
+    int64_t c, const std::vector<int64_t>& regions) const {
+  STHSL_CHECK(c >= 0 && c < num_categories_);
+  std::vector<const Cell*> cells;
+  cells.reserve(regions.size());
+  for (int64_t r : regions) {
+    STHSL_CHECK(r >= 0 && r < num_regions_);
+    cells.push_back(&cells_[static_cast<size_t>(r * num_categories_ + c)]);
+  }
+  return Aggregate(cells);
+}
+
+EvalResult CrimeMetrics::Overall() const {
+  std::vector<const Cell*> cells;
+  cells.reserve(cells_.size());
+  for (const auto& cell : cells_) cells.push_back(&cell);
+  return Aggregate(cells);
+}
+
+std::vector<double> CrimeMetrics::RegionMape(int64_t c) const {
+  STHSL_CHECK(c >= 0 && c < num_categories_);
+  std::vector<double> out(static_cast<size_t>(num_regions_), -1.0);
+  for (int64_t r = 0; r < num_regions_; ++r) {
+    const auto& cell = cells_[static_cast<size_t>(r * num_categories_ + c)];
+    if (cell.positive_entries > 0) {
+      out[static_cast<size_t>(r)] =
+          cell.ape_sum / static_cast<double>(cell.positive_entries);
+    }
+  }
+  return out;
+}
+
+}  // namespace sthsl

@@ -1,0 +1,82 @@
+#ifndef STHSL_METRICS_METRICS_H_
+#define STHSL_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sthsl {
+
+/// One evaluation figure: MAE and MAPE over the evaluated entries.
+///
+/// Following the released evaluation protocol of the paper (and of ST-SHN,
+/// its companion baseline), both metrics are computed over entries whose
+/// ground-truth count is positive: sparse crime tensors are dominated by
+/// zeros, and unmasked means would mostly measure the zero class.
+struct EvalResult {
+  double mae = 0.0;
+  double mape = 0.0;
+  /// Root-mean-squared error over the same masked entries (extension
+  /// beyond the paper's two metrics; penalizes large misses).
+  double rmse = 0.0;
+  int64_t evaluated_entries = 0;
+};
+
+/// Accumulates prediction errors day by day across the test span and reports
+/// MAE/MAPE per category, per region subset, or overall.
+class CrimeMetrics {
+ public:
+  CrimeMetrics(int64_t num_regions, int64_t num_categories);
+
+  /// Adds one evaluated day. `pred` and `truth` are (R, C) matrices.
+  void AddDay(const Tensor& pred, const Tensor& truth);
+
+  /// Metrics for one category over all regions.
+  EvalResult Category(int64_t c) const;
+
+  /// Metrics for one category restricted to `regions`.
+  EvalResult CategoryForRegions(int64_t c,
+                                const std::vector<int64_t>& regions) const;
+
+  /// Metrics over all categories and regions.
+  EvalResult Overall() const;
+
+  /// Per-region MAPE for one category (used by the Fig. 4 error maps);
+  /// regions with no positive-truth entries report -1.
+  std::vector<double> RegionMape(int64_t c) const;
+
+  /// Hot-spot hit rate@k: fraction of evaluated days on which at least one
+  /// of the k regions with the highest predicted total actually had one of
+  /// the k highest true totals (a deployment-oriented extension: does the
+  /// model point patrols at the right places?). Requires that AddDay was
+  /// called with `track_hotspots` left enabled.
+  double HitRateAtK(int64_t k) const;
+
+  int64_t days_added() const { return days_added_; }
+
+ private:
+  struct Cell {
+    double abs_err_sum = 0.0;
+    double ape_sum = 0.0;
+    double sq_err_sum = 0.0;
+    int64_t positive_entries = 0;
+  };
+
+  struct DayRanking {
+    std::vector<int64_t> predicted_order;  // regions by predicted total desc
+    std::vector<int64_t> actual_order;     // regions by true total desc
+  };
+
+  EvalResult Aggregate(const std::vector<const Cell*>& cells) const;
+
+  int64_t num_regions_;
+  int64_t num_categories_;
+  int64_t days_added_ = 0;
+  std::vector<Cell> cells_;  // (R * C)
+  std::vector<DayRanking> day_rankings_;
+};
+
+}  // namespace sthsl
+
+#endif  // STHSL_METRICS_METRICS_H_

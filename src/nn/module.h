@@ -1,0 +1,57 @@
+#ifndef STHSL_NN_MODULE_H_
+#define STHSL_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sthsl {
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns trainable parameters and references child modules (which
+/// are data members of the derived class, registered by pointer). It
+/// provides recursive parameter collection for the optimizer and a
+/// train/eval flag consumed by dropout-style layers.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children (depth-first).
+  std::vector<Tensor> Parameters() const;
+
+  /// Named parameters, prefixed with the registration path (for debugging
+  /// and checkpoints).
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Switches this module and all children between training and evaluation
+  /// behaviour (affects dropout).
+  void SetTraining(bool training);
+  bool IsTraining() const { return training_; }
+
+  /// Total number of scalar parameters (for the efficiency study).
+  int64_t NumParameters() const;
+
+ protected:
+  /// Registers a leaf parameter; returns it for storage in the subclass.
+  Tensor RegisterParameter(const std::string& name, Tensor param);
+
+  /// Registers a child module (must outlive this module; typically a data
+  /// member of the subclass).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace sthsl
+
+#endif  // STHSL_NN_MODULE_H_

@@ -1,0 +1,130 @@
+#include "nn/serialization.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace sthsl {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'H', 'S', 'L', 'C', 'K', '1'};
+
+void WriteU64(std::ostream& os, uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+  }
+  os.write(reinterpret_cast<const char*>(bytes), 8);
+}
+
+bool ReadU64(std::istream& is, uint64_t* value) {
+  unsigned char bytes[8];
+  if (!is.read(reinterpret_cast<char*>(bytes), 8)) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) {
+    *value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open checkpoint for writing: " + path);
+  }
+  file.write(kMagic, sizeof(kMagic));
+  const auto named = module.NamedParameters();
+  WriteU64(file, named.size());
+  for (const auto& [name, param] : named) {
+    WriteU64(file, name.size());
+    file.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto& shape = param.Shape();
+    WriteU64(file, shape.size());
+    for (int64_t extent : shape) {
+      WriteU64(file, static_cast<uint64_t>(extent));
+    }
+    const auto& data = param.Data();
+    file.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  file.flush();
+  if (!file.good()) return Status::IoError("checkpoint write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(Module& module, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open checkpoint for reading: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  if (!file.read(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + sizeof(magic), kMagic)) {
+    return Status::InvalidArgument("not an ST-HSL checkpoint: " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadU64(file, &count)) {
+    return Status::IoError("truncated checkpoint header: " + path);
+  }
+
+  struct Entry {
+    std::vector<int64_t> shape;
+    std::vector<float> data;
+  };
+  std::map<std::string, Entry> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_size = 0;
+    if (!ReadU64(file, &name_size) || name_size > 4096) {
+      return Status::IoError("corrupt checkpoint entry in " + path);
+    }
+    std::string name(name_size, '\0');
+    if (!file.read(name.data(), static_cast<std::streamsize>(name_size))) {
+      return Status::IoError("truncated checkpoint name in " + path);
+    }
+    uint64_t rank = 0;
+    if (!ReadU64(file, &rank) || rank > 16) {
+      return Status::IoError("corrupt checkpoint shape in " + path);
+    }
+    Entry entry;
+    uint64_t numel = 1;
+    for (uint64_t d = 0; d < rank; ++d) {
+      uint64_t extent = 0;
+      if (!ReadU64(file, &extent)) {
+        return Status::IoError("truncated checkpoint shape in " + path);
+      }
+      entry.shape.push_back(static_cast<int64_t>(extent));
+      numel *= extent;
+    }
+    entry.data.resize(numel);
+    if (!file.read(reinterpret_cast<char*>(entry.data.data()),
+                   static_cast<std::streamsize>(numel * sizeof(float)))) {
+      return Status::IoError("truncated checkpoint payload in " + path);
+    }
+    entries.emplace(std::move(name), std::move(entry));
+  }
+
+  auto named = module.NamedParameters();
+  if (named.size() != entries.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(entries.size()) +
+        " parameters but module expects " + std::to_string(named.size()));
+  }
+  for (auto& [name, param] : named) {
+    const auto it = entries.find(name);
+    if (it == entries.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + name);
+    }
+    if (it->second.shape != param.Shape()) {
+      return Status::FailedPrecondition("shape mismatch for parameter " +
+                                        name);
+    }
+    param.MutableData() = it->second.data;
+  }
+  return Status::Ok();
+}
+
+}  // namespace sthsl

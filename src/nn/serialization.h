@@ -1,0 +1,25 @@
+#ifndef STHSL_NN_SERIALIZATION_H_
+#define STHSL_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace sthsl {
+
+/// Saves all named parameters of `module` to a binary checkpoint at `path`.
+/// Format: magic + version header, then one record per parameter
+/// (name, shape, float32 payload). Deterministic and platform-independent
+/// for little-endian machines.
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+/// Loads a checkpoint produced by SaveCheckpoint into `module`. Every
+/// parameter of `module` must be present in the file with a matching shape;
+/// extra entries in the file are an error (strict loading catches
+/// architecture drift early).
+Status LoadCheckpoint(Module& module, const std::string& path);
+
+}  // namespace sthsl
+
+#endif  // STHSL_NN_SERIALIZATION_H_

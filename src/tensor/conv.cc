@@ -1,0 +1,198 @@
+// Direct (stride-1) 1-D and 2-D convolution kernels with autograd.
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace sthsl {
+namespace {
+
+bool NeedsGrad(const Tensor& t) {
+  return t.Defined() && (t.RequiresGrad() || t.GradFn() != nullptr);
+}
+
+}  // namespace
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t pad_h, int64_t pad_w) {
+  STHSL_CHECK_EQ(input.Dim(), 4) << "Conv2d input must be (N, Cin, H, W)";
+  STHSL_CHECK_EQ(weight.Dim(), 4) << "Conv2d weight must be (Cout, Cin, KH, KW)";
+  const int64_t batch = input.Size(0);
+  const int64_t cin = input.Size(1);
+  const int64_t height = input.Size(2);
+  const int64_t width = input.Size(3);
+  const int64_t cout = weight.Size(0);
+  STHSL_CHECK_EQ(weight.Size(1), cin) << "Conv2d channel mismatch";
+  const int64_t kh = weight.Size(2);
+  const int64_t kw = weight.Size(3);
+  const int64_t out_h = height + 2 * pad_h - kh + 1;
+  const int64_t out_w = width + 2 * pad_w - kw + 1;
+  STHSL_CHECK(out_h > 0 && out_w > 0) << "Conv2d kernel larger than input";
+  if (bias.Defined()) {
+    STHSL_CHECK_EQ(bias.Numel(), cout) << "Conv2d bias size mismatch";
+  }
+
+  std::vector<float> out(static_cast<size_t>(batch * cout * out_h * out_w),
+                         0.0f);
+  const float* x = input.Data().data();
+  const float* w = weight.Data().data();
+
+  for (int64_t s = 0; s < batch; ++s) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* out_plane = out.data() + (s * cout + co) * out_h * out_w;
+      if (bias.Defined()) {
+        const float b = bias.Data()[static_cast<size_t>(co)];
+        for (int64_t i = 0; i < out_h * out_w; ++i) out_plane[i] = b;
+      }
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* in_plane = x + (s * cin + ci) * height * width;
+        const float* w_plane = w + (co * cin + ci) * kh * kw;
+        for (int64_t dy = 0; dy < kh; ++dy) {
+          for (int64_t dx = 0; dx < kw; ++dx) {
+            const float wv = w_plane[dy * kw + dx];
+            if (wv == 0.0f) continue;
+            // Output rows for which input row oy - pad_h + dy is in range.
+            const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
+            const int64_t oy_hi =
+                std::min<int64_t>(out_h, height + pad_h - dy);
+            const int64_t ox_lo = std::max<int64_t>(0, pad_w - dx);
+            const int64_t ox_hi = std::min<int64_t>(out_w, width + pad_w - dx);
+            for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+              const int64_t iy = oy - pad_h + dy;
+              const float* in_row = in_plane + iy * width - pad_w + dx;
+              float* out_row = out_plane + oy * out_w;
+              for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                out_row[ox] += wv * in_row[ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Tensor in_captured = input;
+  Tensor w_captured = weight;
+  Tensor b_captured = bias;
+  std::vector<Tensor> inputs = {input, weight};
+  if (bias.Defined()) inputs.push_back(bias);
+
+  return MakeResult(
+      {batch, cout, out_h, out_w}, std::move(out), "conv2d", inputs,
+      [in_captured, w_captured, b_captured, batch, cin, cout, height, width,
+       kh, kw, out_h, out_w, pad_h, pad_w](
+          const Tensor& g) -> std::vector<Tensor> {
+        const float* gv = g.Data().data();
+        const float* x = in_captured.Data().data();
+        const float* w = w_captured.Data().data();
+
+        Tensor gi;
+        Tensor gw;
+        Tensor gb;
+
+        if (NeedsGrad(in_captured)) {
+          std::vector<float> dx_buf(
+              static_cast<size_t>(in_captured.Numel()), 0.0f);
+          for (int64_t s = 0; s < batch; ++s) {
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* g_plane = gv + (s * cout + co) * out_h * out_w;
+              for (int64_t ci = 0; ci < cin; ++ci) {
+                float* dx_plane =
+                    dx_buf.data() + (s * cin + ci) * height * width;
+                const float* w_plane = w + (co * cin + ci) * kh * kw;
+                for (int64_t dy = 0; dy < kh; ++dy) {
+                  for (int64_t dxk = 0; dxk < kw; ++dxk) {
+                    const float wv = w_plane[dy * kw + dxk];
+                    if (wv == 0.0f) continue;
+                    const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
+                    const int64_t oy_hi =
+                        std::min<int64_t>(out_h, height + pad_h - dy);
+                    const int64_t ox_lo = std::max<int64_t>(0, pad_w - dxk);
+                    const int64_t ox_hi =
+                        std::min<int64_t>(out_w, width + pad_w - dxk);
+                    for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+                      const int64_t iy = oy - pad_h + dy;
+                      float* dx_row = dx_plane + iy * width - pad_w + dxk;
+                      const float* g_row = g_plane + oy * out_w;
+                      for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                        dx_row[ox] += wv * g_row[ox];
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+          gi = Tensor::FromVector(in_captured.Shape(), std::move(dx_buf));
+        }
+
+        if (NeedsGrad(w_captured)) {
+          std::vector<float> dw_buf(
+              static_cast<size_t>(w_captured.Numel()), 0.0f);
+          for (int64_t s = 0; s < batch; ++s) {
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* g_plane = gv + (s * cout + co) * out_h * out_w;
+              for (int64_t ci = 0; ci < cin; ++ci) {
+                const float* in_plane = x + (s * cin + ci) * height * width;
+                float* dw_plane = dw_buf.data() + (co * cin + ci) * kh * kw;
+                for (int64_t dy = 0; dy < kh; ++dy) {
+                  for (int64_t dxk = 0; dxk < kw; ++dxk) {
+                    const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
+                    const int64_t oy_hi =
+                        std::min<int64_t>(out_h, height + pad_h - dy);
+                    const int64_t ox_lo = std::max<int64_t>(0, pad_w - dxk);
+                    const int64_t ox_hi =
+                        std::min<int64_t>(out_w, width + pad_w - dxk);
+                    float acc = 0.0f;
+                    for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+                      const int64_t iy = oy - pad_h + dy;
+                      const float* in_row =
+                          in_plane + iy * width - pad_w + dxk;
+                      const float* g_row = g_plane + oy * out_w;
+                      for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                        acc += in_row[ox] * g_row[ox];
+                      }
+                    }
+                    dw_plane[dy * kw + dxk] += acc;
+                  }
+                }
+              }
+            }
+          }
+          gw = Tensor::FromVector(w_captured.Shape(), std::move(dw_buf));
+        }
+
+        if (b_captured.Defined() && NeedsGrad(b_captured)) {
+          std::vector<float> db_buf(static_cast<size_t>(cout), 0.0f);
+          for (int64_t s = 0; s < batch; ++s) {
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* g_plane = gv + (s * cout + co) * out_h * out_w;
+              float acc = 0.0f;
+              for (int64_t i = 0; i < out_h * out_w; ++i) acc += g_plane[i];
+              db_buf[static_cast<size_t>(co)] += acc;
+            }
+          }
+          gb = Tensor::FromVector(b_captured.Shape(), std::move(db_buf));
+        }
+
+        std::vector<Tensor> grads = {gi, gw};
+        if (b_captured.Defined()) grads.push_back(gb);
+        return grads;
+      });
+}
+
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t pad) {
+  STHSL_CHECK_EQ(input.Dim(), 3) << "Conv1d input must be (N, Cin, L)";
+  STHSL_CHECK_EQ(weight.Dim(), 3) << "Conv1d weight must be (Cout, Cin, K)";
+  // Reuse the 2-D kernel by viewing length as width with height 1.
+  Tensor input4 = Reshape(input, {input.Size(0), input.Size(1), 1,
+                                  input.Size(2)});
+  Tensor weight4 = Reshape(weight, {weight.Size(0), weight.Size(1), 1,
+                                    weight.Size(2)});
+  Tensor out = Conv2d(input4, weight4, bias, /*pad_h=*/0, /*pad_w=*/pad);
+  return Reshape(out, {out.Size(0), out.Size(1), out.Size(3)});
+}
+
+}  // namespace sthsl

@@ -1,0 +1,127 @@
+// Matrix-product kernels and the MatMul autograd op.
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace sthsl {
+namespace {
+
+bool NeedsGrad(const Tensor& t) {
+  return t.Defined() && (t.RequiresGrad() || t.GradFn() != nullptr);
+}
+
+// C(m,n) += A(m,k) * B(k,n). C must be pre-zeroed. Loop order (i, p, j)
+// keeps both B and C accesses contiguous in the inner loop.
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C(m,k) += A(m,n) * B(k,n)^T  — rows of both operands are contiguous.
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+            int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      c[i * k + p] += acc;
+    }
+  }
+}
+
+// C(k,n) += A(m,k)^T * B(m,n).
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const int64_t a_rank = a.Dim();
+  const int64_t b_rank = b.Dim();
+  STHSL_CHECK(a_rank >= 2 && b_rank >= 2 && a_rank <= 3 && b_rank <= 3)
+      << "MatMul supports 2-D and 3-D operands, got ranks " << a_rank << ", "
+      << b_rank;
+  STHSL_CHECK(!(a_rank == 2 && b_rank == 3))
+      << "MatMul (2-D x 3-D) is not supported";
+
+  const int64_t m = a.Size(-2);
+  const int64_t k = a.Size(-1);
+  const int64_t k2 = b.Size(-2);
+  const int64_t n = b.Size(-1);
+  STHSL_CHECK_EQ(k, k2) << "MatMul inner-dim mismatch";
+
+  const int64_t batch = a_rank == 3 ? a.Size(0) : 1;
+  const bool b_batched = (b_rank == 3);
+  if (b_batched) {
+    STHSL_CHECK_EQ(a_rank, 3) << "batched rhs needs batched lhs";
+    STHSL_CHECK_EQ(b.Size(0), batch) << "MatMul batch mismatch";
+  }
+
+  std::vector<float> out(static_cast<size_t>(batch * m * n), 0.0f);
+  const float* av = a.Data().data();
+  const float* bv = b.Data().data();
+  for (int64_t s = 0; s < batch; ++s) {
+    GemmNN(av + s * m * k, bv + (b_batched ? s * k * n : 0),
+           out.data() + s * m * n, m, k, n);
+  }
+
+  std::vector<int64_t> out_shape =
+      a_rank == 3 ? std::vector<int64_t>{batch, m, n}
+                  : std::vector<int64_t>{m, n};
+
+  Tensor a_captured = a;
+  Tensor b_captured = b;
+  return MakeResult(
+      std::move(out_shape), std::move(out), "matmul", {a, b},
+      [a_captured, b_captured, batch, m, k, n,
+       b_batched](const Tensor& g) -> std::vector<Tensor> {
+        const float* gv = g.Data().data();
+        const float* av = a_captured.Data().data();
+        const float* bv = b_captured.Data().data();
+        Tensor ga;
+        Tensor gb;
+        if (NeedsGrad(a_captured)) {
+          std::vector<float> da(static_cast<size_t>(batch * m * k), 0.0f);
+          for (int64_t s = 0; s < batch; ++s) {
+            // dA = dC * B^T
+            GemmNT(gv + s * m * n, bv + (b_batched ? s * k * n : 0),
+                   da.data() + s * m * k, m, n, k);
+          }
+          ga = Tensor::FromVector(a_captured.Shape(), std::move(da));
+        }
+        if (NeedsGrad(b_captured)) {
+          std::vector<float> db(
+              static_cast<size_t>((b_batched ? batch : 1) * k * n), 0.0f);
+          for (int64_t s = 0; s < batch; ++s) {
+            // dB = A^T * dC (accumulated over the batch when B is shared)
+            GemmTN(av + s * m * k, gv + s * m * n,
+                   db.data() + (b_batched ? s * k * n : 0), m, k, n);
+          }
+          gb = Tensor::FromVector(b_captured.Shape(), std::move(db));
+        }
+        return {ga, gb};
+      });
+}
+
+}  // namespace sthsl

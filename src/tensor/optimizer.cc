@@ -1,0 +1,92 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sthsl {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    STHSL_CHECK(p.Defined() && p.RequiresGrad())
+        << "optimizer parameters must be defined leaf tensors with "
+           "requires_grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const auto& g = p.Grad();
+    if (g.empty()) continue;  // parameter did not participate this step
+    auto& data = p.MutableData();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[i];
+      if (vel.empty()) vel.assign(data.size(), 0.0f);
+      for (size_t j = 0; j < data.size(); ++j) {
+        const float grad = g[j] + weight_decay_ * data[j];
+        vel[j] = momentum_ * vel[j] + grad;
+        data[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (size_t j = 0; j < data.size(); ++j) {
+        data[j] -= lr_ * (g[j] + weight_decay_ * data[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const auto& g = p.Grad();
+    if (g.empty()) continue;
+    auto& data = p.MutableData();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    if (m.empty()) {
+      m.assign(data.size(), 0.0f);
+      v.assign(data.size(), 0.0f);
+    }
+    for (size_t j = 0; j < data.size(); ++j) {
+      const float grad = g[j] + weight_decay_ * data[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      data[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace sthsl

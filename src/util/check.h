@@ -1,0 +1,69 @@
+#ifndef STHSL_UTIL_CHECK_H_
+#define STHSL_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sthsl::internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "[STHSL CHECK FAILED] %s:%d: (%s) %s\n", file, line,
+               condition, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Builds the optional streamed message for STHSL_CHECK. The object is
+/// constructed only on the failure path, so passing checks cost one branch.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, condition_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sthsl::internal_check
+
+/// Invariant check for programming errors (shape mismatches, index bounds).
+/// Usage: STHSL_CHECK(a == b) << "details " << a << " vs " << b;
+/// On failure: prints file/line/condition/message and aborts.
+#define STHSL_CHECK(condition)                                          \
+  if (condition) {                                                      \
+  } else                                                                \
+    ::sthsl::internal_check::CheckMessageBuilder(__FILE__, __LINE__,    \
+                                                 #condition)
+
+#define STHSL_CHECK_EQ(a, b) STHSL_CHECK((a) == (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define STHSL_CHECK_NE(a, b) STHSL_CHECK((a) != (b)) << #a "=" << (a) << " "
+#define STHSL_CHECK_LT(a, b) STHSL_CHECK((a) < (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define STHSL_CHECK_LE(a, b) STHSL_CHECK((a) <= (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define STHSL_CHECK_GT(a, b) STHSL_CHECK((a) > (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define STHSL_CHECK_GE(a, b) STHSL_CHECK((a) >= (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+
+/// Returns early with the error status if `expr` is not OK.
+#define STHSL_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::sthsl::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // STHSL_UTIL_CHECK_H_

@@ -1,0 +1,30 @@
+#ifndef STHSL_UTIL_CSV_H_
+#define STHSL_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sthsl {
+
+/// Minimal CSV table: a header row plus string cells. Used for persisting
+/// generated crime tensors and benchmark result tables.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Writes `table` to `path`. Cells containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Reads a CSV file written by WriteCsv (handles quoted cells).
+Result<CsvTable> ReadCsv(const std::string& path);
+
+/// Splits one CSV line into cells (exposed for testing).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace sthsl
+
+#endif  // STHSL_UTIL_CSV_H_

@@ -1,0 +1,43 @@
+#ifndef STHSL_UTIL_LOGGING_H_
+#define STHSL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sthsl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& message);
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace sthsl
+
+#define STHSL_LOG(level)                                 \
+  ::sthsl::internal_logging::LogMessage(                 \
+      ::sthsl::LogLevel::k##level)
+
+#endif  // STHSL_UTIL_LOGGING_H_

@@ -1,0 +1,29 @@
+#ifndef STHSL_UTIL_TIMER_H_
+#define STHSL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sthsl {
+
+/// Wall-clock stopwatch used by the efficiency study (Table V).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sthsl
+
+#endif  // STHSL_UTIL_TIMER_H_

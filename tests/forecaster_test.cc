@@ -1,0 +1,136 @@
+// Tests for the Forecaster interface utilities and the evaluation driver.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/classical.h"
+#include "core/forecaster.h"
+#include "data/generator.h"
+#include "tensor/ops.h"
+
+namespace sthsl {
+namespace {
+
+CrimeDataset SmallCity(uint64_t seed = 77) {
+  CrimeGenConfig gen;
+  gen.rows = 3;
+  gen.cols = 3;
+  gen.days = 80;
+  gen.num_zones = 2;
+  gen.category_totals = {250, 600, 260, 300};
+  gen.seed = seed;
+  return GenerateCrimeData(gen);
+}
+
+// A forecaster that always predicts a constant, for driver-level tests.
+class ConstantForecaster : public Forecaster {
+ public:
+  explicit ConstantForecaster(float value) : value_(value) {}
+  std::string Name() const override { return "Constant"; }
+  void Fit(const CrimeDataset& data, int64_t) override {
+    regions_ = data.num_regions();
+    categories_ = data.num_categories();
+  }
+  Tensor PredictDay(const CrimeDataset&, int64_t) override {
+    return Tensor::Full({regions_, categories_}, value_);
+  }
+
+ private:
+  float value_;
+  int64_t regions_ = 0;
+  int64_t categories_ = 0;
+};
+
+TEST(EvaluateForecasterTest, AddsOneDayPerTestDay) {
+  CrimeDataset data = SmallCity();
+  ConstantForecaster model(1.0f);
+  model.Fit(data, 70);
+  CrimeMetrics metrics = EvaluateForecaster(model, data, 70, 80);
+  EXPECT_EQ(metrics.days_added(), 10);
+}
+
+TEST(EvaluateForecasterTest, ConstantOnePredictorMapeIdentity) {
+  // Predicting exactly 1 everywhere: APE on a truth entry v is |1-v|/v.
+  CrimeDataset data = SmallCity();
+  ConstantForecaster model(1.0f);
+  model.Fit(data, 70);
+  CrimeMetrics metrics = EvaluateForecaster(model, data, 70, 80);
+  double expected_ape = 0.0;
+  int64_t entries = 0;
+  for (int64_t t = 70; t < 80; ++t) {
+    Tensor truth = data.TargetDay(t);
+    for (int64_t i = 0; i < truth.Numel(); ++i) {
+      const float v = truth.At(i);
+      if (v > 0.0f) {
+        expected_ape += std::fabs(1.0f - v) / v;
+        ++entries;
+      }
+    }
+  }
+  ASSERT_GT(entries, 0);
+  EXPECT_NEAR(metrics.Overall().mape, expected_ape / entries, 1e-6);
+}
+
+TEST(EvaluateForecasterTest, RejectsInvalidRanges) {
+  CrimeDataset data = SmallCity();
+  ConstantForecaster model(0.0f);
+  model.Fit(data, 70);
+  EXPECT_DEATH(EvaluateForecaster(model, data, 70, 70), "invalid test range");
+  EXPECT_DEATH(EvaluateForecaster(model, data, 70, 999),
+               "invalid test range");
+}
+
+TEST(ForecasterZoo, ClassicalModelsAreDeterministic) {
+  CrimeDataset data = SmallCity();
+  for (int variant = 0; variant < 3; ++variant) {
+    std::unique_ptr<Forecaster> a;
+    std::unique_ptr<Forecaster> b;
+    if (variant == 0) {
+      a = std::make_unique<HistoricalAverage>();
+      b = std::make_unique<HistoricalAverage>();
+    } else if (variant == 1) {
+      a = std::make_unique<Arima>();
+      b = std::make_unique<Arima>();
+    } else {
+      a = std::make_unique<Svr>();
+      b = std::make_unique<Svr>();
+    }
+    a->Fit(data, 70);
+    b->Fit(data, 70);
+    EXPECT_EQ(a->PredictDay(data, 75).Data(), b->PredictDay(data, 75).Data())
+        << a->Name();
+  }
+}
+
+TEST(ForecasterZoo, ArimaSurvivesAllZeroSeries) {
+  // An all-zero city: every series is degenerate; predictions must be 0.
+  CrimeDataset data("zero", 2, 2, {"A"}, Tensor::Zeros({4, 50, 1}));
+  Arima arima;
+  arima.Fit(data, 40);
+  Tensor pred = arima.PredictDay(data, 45);
+  for (float v : pred.Data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ForecasterZoo, ArimaClampsExplosiveSeries) {
+  // Geometric growth produces explosive AR fits; the stability guard and
+  // the forecast clamp must keep the prediction bounded.
+  std::vector<float> counts(60);
+  float value = 1.0f;
+  for (auto& v : counts) {
+    v = value;
+    value *= 1.3f;
+  }
+  CrimeDataset data("boom", 1, 1, {"A"},
+                    Tensor::FromVector({1, 60, 1}, counts));
+  Arima arima;
+  arima.Fit(data, 50);
+  Tensor pred = arima.PredictDay(data, 55);
+  EXPECT_TRUE(std::isfinite(pred.At({0, 0})));
+  // Bounded by 3 * max-observed + 5.
+  EXPECT_LE(pred.At({0, 0}), 3.0f * counts[49] + 5.0f + 1.0f);
+}
+
+}  // namespace
+}  // namespace sthsl

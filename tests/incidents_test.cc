@@ -1,0 +1,138 @@
+// Tests for the raw-incident rasterization pipeline (the paper's grid-based
+// map segmentation preprocessing) and its CSV round-trip.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/incidents.h"
+
+namespace sthsl {
+namespace {
+
+constexpr int64_t kDay = 24 * 60 * 60;
+
+GridSpec UnitGrid(int64_t rows, int64_t cols) {
+  GridSpec grid;
+  grid.min_longitude = -74.0;
+  grid.max_longitude = -73.0;
+  grid.min_latitude = 40.0;
+  grid.max_latitude = 41.0;
+  grid.rows = rows;
+  grid.cols = cols;
+  return grid;
+}
+
+IncidentRecord Record(const std::string& cat, int64_t day, double lon_frac,
+                      double lat_frac) {
+  IncidentRecord record;
+  record.category = cat;
+  record.timestamp_seconds = day * kDay + 3600;
+  record.longitude = -74.0 + lon_frac;
+  record.latitude = 40.0 + lat_frac;
+  return record;
+}
+
+TEST(RasterizeTest, MapsRecordsToCells) {
+  GridSpec grid = UnitGrid(2, 2);
+  std::vector<IncidentRecord> records = {
+      Record("Theft", 0, 0.1, 0.1),   // row 0, col 0 -> region 0
+      Record("Theft", 0, 0.9, 0.1),   // row 0, col 1 -> region 1
+      Record("Theft", 1, 0.1, 0.9),   // row 1, col 0 -> region 2
+      Record("Battery", 1, 0.9, 0.9)  // row 1, col 1 -> region 3
+  };
+  auto result = RasterizeIncidents(records, grid, {"Theft", "Battery"}, 0, 3,
+                                   "test");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CrimeDataset& data = result.value().dataset;
+  EXPECT_EQ(result.value().accepted, 4);
+  EXPECT_EQ(data.Count(0, 0, 0), 1.0f);
+  EXPECT_EQ(data.Count(1, 0, 0), 1.0f);
+  EXPECT_EQ(data.Count(2, 1, 0), 1.0f);
+  EXPECT_EQ(data.Count(3, 1, 1), 1.0f);
+  EXPECT_EQ(data.Count(3, 1, 0), 0.0f);
+}
+
+TEST(RasterizeTest, DropsAndCountsBadRecords) {
+  GridSpec grid = UnitGrid(2, 2);
+  std::vector<IncidentRecord> records = {
+      Record("Theft", 0, 0.5, 0.5),
+      Record("Arson", 0, 0.5, 0.5),   // unknown category
+      Record("Theft", 9, 0.5, 0.5),   // beyond the day span
+      Record("Theft", 0, 1.5, 0.5),   // outside the bounding box
+  };
+  auto result =
+      RasterizeIncidents(records, grid, {"Theft"}, 0, 3, "test");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().accepted, 1);
+  EXPECT_EQ(result.value().dropped_unknown_category, 1);
+  EXPECT_EQ(result.value().dropped_out_of_bounds, 2);
+}
+
+TEST(RasterizeTest, BoundaryCoordinatesLandInLastCell) {
+  GridSpec grid = UnitGrid(2, 2);
+  std::vector<IncidentRecord> records = {Record("Theft", 0, 1.0, 1.0)};
+  auto result =
+      RasterizeIncidents(records, grid, {"Theft"}, 0, 1, "test");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().dataset.Count(3, 0, 0), 1.0f);  // region 3
+}
+
+TEST(RasterizeTest, RejectsDegenerateInputs) {
+  GridSpec grid = UnitGrid(2, 2);
+  grid.max_longitude = grid.min_longitude;  // degenerate box
+  auto result = RasterizeIncidents({}, grid, {"Theft"}, 0, 1, "x");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+
+  auto no_cats = RasterizeIncidents({}, UnitGrid(2, 2), {}, 0, 1, "x");
+  EXPECT_FALSE(no_cats.ok());
+}
+
+TEST(RasterizeTest, SynthesizedIncidentsRoundTripExactly) {
+  // dataset -> point records -> rasterize must reproduce the counts.
+  CrimeGenConfig gen;
+  gen.rows = 3;
+  gen.cols = 4;
+  gen.days = 20;
+  gen.num_zones = 2;
+  gen.category_totals = {80, 160, 90, 100};
+  gen.seed = 31;
+  CrimeDataset data = GenerateCrimeData(gen);
+
+  GridSpec grid = UnitGrid(3, 4);
+  Rng rng(5);
+  auto records = SynthesizeIncidents(data, grid, 0, rng);
+  auto result = RasterizeIncidents(records, grid, data.category_names(), 0,
+                                   data.num_days(), data.city_name());
+  ASSERT_TRUE(result.ok());
+  const CrimeDataset& rebuilt = result.value().dataset;
+  EXPECT_EQ(result.value().accepted,
+            static_cast<int64_t>(records.size()));
+  for (int64_t r = 0; r < data.num_regions(); ++r) {
+    for (int64_t t = 0; t < data.num_days(); ++t) {
+      for (int64_t c = 0; c < data.num_categories(); ++c) {
+        ASSERT_EQ(rebuilt.Count(r, t, c), data.Count(r, t, c))
+            << "r=" << r << " t=" << t << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(RasterizeTest, IncidentCsvRoundTrip) {
+  std::vector<IncidentRecord> records = {Record("Theft", 2, 0.25, 0.75),
+                                         Record("Battery", 5, 0.5, 0.5)};
+  const std::string path = "/tmp/sthsl_incidents_test.csv";
+  ASSERT_TRUE(SaveIncidentsCsv(path, records).ok());
+  auto loaded = LoadIncidentsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].category, "Theft");
+  EXPECT_EQ(loaded.value()[0].timestamp_seconds, 2 * kDay + 3600);
+  EXPECT_NEAR(loaded.value()[1].latitude, 40.5, 1e-6);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sthsl

@@ -1,0 +1,89 @@
+// Tests for the masked MAE/MAPE evaluation protocol.
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "tensor/tensor.h"
+
+namespace sthsl {
+namespace {
+
+TEST(MetricsTest, PerfectPredictionIsZeroError) {
+  CrimeMetrics metrics(2, 2);
+  Tensor truth = Tensor::FromVector({2, 2}, {1, 0, 2, 3});
+  metrics.AddDay(truth, truth);
+  EvalResult overall = metrics.Overall();
+  EXPECT_EQ(overall.evaluated_entries, 3);  // three positive entries
+  EXPECT_DOUBLE_EQ(overall.mae, 0.0);
+  EXPECT_DOUBLE_EQ(overall.mape, 0.0);
+}
+
+TEST(MetricsTest, MaskedEntriesOnly) {
+  CrimeMetrics metrics(1, 2);
+  Tensor truth = Tensor::FromVector({1, 2}, {0, 2});
+  Tensor pred = Tensor::FromVector({1, 2}, {100, 1});
+  metrics.AddDay(pred, truth);
+  // The zero-truth entry contributes nothing despite a huge error.
+  EvalResult overall = metrics.Overall();
+  EXPECT_EQ(overall.evaluated_entries, 1);
+  EXPECT_DOUBLE_EQ(overall.mae, 1.0);
+  EXPECT_DOUBLE_EQ(overall.mape, 0.5);
+}
+
+TEST(MetricsTest, PerCategorySeparation) {
+  CrimeMetrics metrics(1, 2);
+  Tensor truth = Tensor::FromVector({1, 2}, {1, 4});
+  Tensor pred = Tensor::FromVector({1, 2}, {2, 2});
+  metrics.AddDay(pred, truth);
+  EXPECT_DOUBLE_EQ(metrics.Category(0).mae, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Category(0).mape, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Category(1).mae, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.Category(1).mape, 0.5);
+}
+
+TEST(MetricsTest, AccumulatesAcrossDays) {
+  CrimeMetrics metrics(1, 1);
+  metrics.AddDay(Tensor::FromVector({1, 1}, {2}),
+                 Tensor::FromVector({1, 1}, {1}));
+  metrics.AddDay(Tensor::FromVector({1, 1}, {1}),
+                 Tensor::FromVector({1, 1}, {4}));
+  EXPECT_EQ(metrics.days_added(), 2);
+  EvalResult r = metrics.Category(0);
+  EXPECT_EQ(r.evaluated_entries, 2);
+  EXPECT_DOUBLE_EQ(r.mae, (1.0 + 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(r.mape, (1.0 + 0.75) / 2.0);
+}
+
+TEST(MetricsTest, RegionSubset) {
+  CrimeMetrics metrics(3, 1);
+  Tensor truth = Tensor::FromVector({3, 1}, {1, 2, 4});
+  Tensor pred = Tensor::FromVector({3, 1}, {2, 2, 0});
+  metrics.AddDay(pred, truth);
+  EvalResult sparse = metrics.CategoryForRegions(0, {0, 1});
+  EXPECT_DOUBLE_EQ(sparse.mae, 0.5);
+  EvalResult dense = metrics.CategoryForRegions(0, {2});
+  EXPECT_DOUBLE_EQ(dense.mae, 4.0);
+  EXPECT_DOUBLE_EQ(dense.mape, 1.0);
+}
+
+TEST(MetricsTest, EmptySubsetReportsZeroEntries) {
+  CrimeMetrics metrics(2, 1);
+  metrics.AddDay(Tensor::Zeros({2, 1}), Tensor::Zeros({2, 1}));
+  EvalResult r = metrics.CategoryForRegions(0, {});
+  EXPECT_EQ(r.evaluated_entries, 0);
+  EXPECT_DOUBLE_EQ(r.mae, 0.0);
+}
+
+TEST(MetricsTest, RegionMapeMarksUnevaluatedRegions) {
+  CrimeMetrics metrics(2, 1);
+  Tensor truth = Tensor::FromVector({2, 1}, {2, 0});
+  Tensor pred = Tensor::FromVector({2, 1}, {1, 5});
+  metrics.AddDay(pred, truth);
+  auto mape = metrics.RegionMape(0);
+  ASSERT_EQ(mape.size(), 2u);
+  EXPECT_DOUBLE_EQ(mape[0], 0.5);
+  EXPECT_DOUBLE_EQ(mape[1], -1.0);  // never had positive truth
+}
+
+}  // namespace
+}  // namespace sthsl

@@ -1,0 +1,108 @@
+// Tests for the multi-day forecasting extension and the extended metrics
+// (RMSE, hit-rate@k).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/classical.h"
+#include "core/multi_step.h"
+#include "data/generator.h"
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+
+namespace sthsl {
+namespace {
+
+CrimeDataset SmallCity() {
+  CrimeGenConfig gen;
+  gen.rows = 3;
+  gen.cols = 3;
+  gen.days = 120;
+  gen.num_zones = 2;
+  gen.category_totals = {300, 700, 320, 380};
+  gen.seed = 21;
+  return GenerateCrimeData(gen);
+}
+
+TEST(MultiStepTest, HorizonShapesAndNonNegativity) {
+  CrimeDataset data = SmallCity();
+  HistoricalAverage model;
+  model.Fit(data, 100);
+  auto forecasts = ForecastHorizon(model, data, 100, 5);
+  ASSERT_EQ(forecasts.size(), 5u);
+  for (const auto& f : forecasts) {
+    EXPECT_EQ(f.Shape(), (std::vector<int64_t>{9, 4}));
+    for (float v : f.Data()) EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(MultiStepTest, HorizonCanExtendBeyondDataset) {
+  CrimeDataset data = SmallCity();
+  HistoricalAverage model;
+  model.Fit(data, data.num_days());
+  // Start at the end of the data and forecast a week into the unknown.
+  auto forecasts = ForecastHorizon(model, data, data.num_days(), 7);
+  EXPECT_EQ(forecasts.size(), 7u);
+}
+
+TEST(MultiStepTest, FirstLeadMatchesSingleStepPrediction) {
+  CrimeDataset data = SmallCity();
+  HistoricalAverage model;
+  model.Fit(data, 100);
+  auto forecasts = ForecastHorizon(model, data, 100, 3);
+  Tensor direct = model.PredictDay(data, 100);
+  EXPECT_EQ(forecasts[0].Data(), direct.Data());
+}
+
+TEST(MultiStepTest, EvaluateHorizonReturnsPerLeadResults) {
+  CrimeDataset data = SmallCity();
+  HistoricalAverage model;
+  model.Fit(data, 100);
+  auto results = EvaluateHorizon(model, data, 100, 115, 3);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.evaluated_entries, 0);
+    EXPECT_GT(r.mae, 0.0);
+  }
+}
+
+// -- extended metrics ---------------------------------------------------------
+
+TEST(ExtendedMetricsTest, RmseAtLeastMae) {
+  CrimeMetrics metrics(2, 1);
+  metrics.AddDay(Tensor::FromVector({2, 1}, {0, 1}),
+                 Tensor::FromVector({2, 1}, {2, 4}));
+  EvalResult r = metrics.Overall();
+  EXPECT_GE(r.rmse, r.mae);
+  // errors are 2 and 3 -> MAE 2.5, RMSE sqrt(6.5).
+  EXPECT_NEAR(r.mae, 2.5, 1e-9);
+  EXPECT_NEAR(r.rmse, std::sqrt(6.5), 1e-6);
+}
+
+TEST(ExtendedMetricsTest, HitRatePerfectRanking) {
+  CrimeMetrics metrics(3, 1);
+  Tensor truth = Tensor::FromVector({3, 1}, {5, 1, 0});
+  metrics.AddDay(truth, truth);  // identical ranking
+  EXPECT_DOUBLE_EQ(metrics.HitRateAtK(1), 1.0);
+}
+
+TEST(ExtendedMetricsTest, HitRateInvertedRanking) {
+  CrimeMetrics metrics(4, 1);
+  Tensor pred = Tensor::FromVector({4, 1}, {0, 1, 2, 3});
+  Tensor truth = Tensor::FromVector({4, 1}, {3, 2, 1, 0});
+  metrics.AddDay(pred, truth);
+  EXPECT_DOUBLE_EQ(metrics.HitRateAtK(1), 0.0);  // picks the worst region
+  EXPECT_DOUBLE_EQ(metrics.HitRateAtK(4), 1.0);  // k = R always hits
+}
+
+TEST(ExtendedMetricsTest, HitRateAveragesOverDays) {
+  CrimeMetrics metrics(2, 1);
+  Tensor truth = Tensor::FromVector({2, 1}, {3, 0});
+  metrics.AddDay(Tensor::FromVector({2, 1}, {1, 0}), truth);  // hit
+  metrics.AddDay(Tensor::FromVector({2, 1}, {0, 1}), truth);  // miss
+  EXPECT_DOUBLE_EQ(metrics.HitRateAtK(1), 0.5);
+}
+
+}  // namespace
+}  // namespace sthsl

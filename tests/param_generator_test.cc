@@ -1,0 +1,103 @@
+// Parameterized statistical property tests of the data generator, swept
+// over city presets and seeds: the phenomena the paper's method relies on
+// must be present in every configuration we benchmark with.
+
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/stats.h"
+
+namespace sthsl {
+namespace {
+
+struct PresetCase {
+  std::string name;
+  CrimeGenConfig config;
+};
+
+class GeneratorPresetSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  static PresetCase Preset(int index) {
+    switch (index) {
+      case 0:
+        return {"nyc_small", NycSmallPreset()};
+      case 1:
+        return {"chi_small", ChicagoSmallPreset()};
+      default: {
+        CrimeGenConfig tiny;
+        tiny.rows = 5;
+        tiny.cols = 5;
+        tiny.days = 180;
+        tiny.category_totals = {900, 2400, 950, 1100};
+        return {"tiny", tiny};
+      }
+    }
+  }
+};
+
+TEST_P(GeneratorPresetSweep, TotalsWithinCalibrationBand) {
+  auto [preset_index, seed] = GetParam();
+  PresetCase preset = Preset(preset_index);
+  preset.config.seed = seed;
+  CrimeDataset data = GenerateCrimeData(preset.config);
+  for (int64_t c = 0; c < data.num_categories(); ++c) {
+    const double target =
+        preset.config.category_totals[static_cast<size_t>(c)];
+    const double actual = data.CategoryTotal(c);
+    // Zone regimes are mean-one corrected; allow the regime band.
+    EXPECT_GT(actual, target * 0.55) << preset.name << " category " << c;
+    EXPECT_LT(actual, target * 1.8) << preset.name << " category " << c;
+  }
+}
+
+TEST_P(GeneratorPresetSweep, SpatialSkewPresent) {
+  auto [preset_index, seed] = GetParam();
+  PresetCase preset = Preset(preset_index);
+  preset.config.seed = seed;
+  CrimeDataset data = GenerateCrimeData(preset.config);
+  for (int64_t c = 0; c < data.num_categories(); ++c) {
+    EXPECT_GT(SpatialGini(data, c), 0.3)
+        << preset.name << " category " << c << " lacks the Fig. 2 skew";
+  }
+}
+
+TEST_P(GeneratorPresetSweep, SparseRegionsExist) {
+  auto [preset_index, seed] = GetParam();
+  PresetCase preset = Preset(preset_index);
+  preset.config.seed = seed;
+  CrimeDataset data = GenerateCrimeData(preset.config);
+  auto histogram = DensityHistogram(data, 0.25);
+  const int64_t total =
+      std::accumulate(histogram.begin(), histogram.end(), int64_t{0});
+  EXPECT_EQ(total, data.num_regions());
+  // The sparse half must be populated (the Fig. 1 motivation).
+  EXPECT_GT(histogram[0] + histogram[1], 0) << preset.name;
+}
+
+TEST_P(GeneratorPresetSweep, CountsAreNonNegativeIntegers) {
+  auto [preset_index, seed] = GetParam();
+  PresetCase preset = Preset(preset_index);
+  preset.config.seed = seed;
+  CrimeDataset data = GenerateCrimeData(preset.config);
+  for (float v : data.counts().Data()) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_EQ(v, static_cast<float>(static_cast<int64_t>(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndSeeds, GeneratorPresetSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(uint64_t{1}, uint64_t{20140101})),
+    [](const ::testing::TestParamInfo<GeneratorPresetSweep::ParamType>&
+           info) {
+      return "preset" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace sthsl

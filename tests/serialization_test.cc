@@ -1,0 +1,110 @@
+// Tests for model checkpointing: exact round-trip, strict validation of
+// architecture mismatches, corruption handling.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/sthsl_model.h"
+#include "nn/layers.h"
+#include "nn/serialization.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace sthsl {
+namespace {
+
+const char* kPath = "/tmp/sthsl_checkpoint_test.bin";
+
+TEST(SerializationTest, RoundTripRestoresExactValues) {
+  Rng rng(1);
+  Linear original(4, 3, rng);
+  ASSERT_TRUE(SaveCheckpoint(original, kPath).ok());
+
+  Rng rng2(999);  // different init
+  Linear restored(4, 3, rng2);
+  ASSERT_NE(restored.Parameters()[0].Data(),
+            original.Parameters()[0].Data());
+  ASSERT_TRUE(LoadCheckpoint(restored, kPath).ok());
+  EXPECT_EQ(restored.Parameters()[0].Data(),
+            original.Parameters()[0].Data());
+  EXPECT_EQ(restored.Parameters()[1].Data(),
+            original.Parameters()[1].Data());
+  std::remove(kPath);
+}
+
+TEST(SerializationTest, NestedModuleRoundTrip) {
+  Rng rng(2);
+  GruCell original(3, 5, rng);
+  ASSERT_TRUE(SaveCheckpoint(original, kPath).ok());
+  Rng rng2(3);
+  GruCell restored(3, 5, rng2);
+  ASSERT_TRUE(LoadCheckpoint(restored, kPath).ok());
+  // Same forward output after restore.
+  Tensor x = Tensor::Ones({2, 3});
+  Tensor h = Tensor::Zeros({2, 5});
+  EXPECT_EQ(original.Forward(x, h).Data(), restored.Forward(x, h).Data());
+  std::remove(kPath);
+}
+
+TEST(SerializationTest, SthslNetRoundTripPreservesPredictions) {
+  Rng rng(4);
+  SthslConfig config;
+  config.dim = 4;
+  config.num_hyperedges = 8;
+  config.train.window = 7;
+  SthslNet original(config, 3, 3, 2, 0.1f, 0.9f, rng);
+  ASSERT_TRUE(SaveCheckpoint(original, kPath).ok());
+
+  Rng rng2(5);
+  SthslNet restored(config, 3, 3, 2, 0.1f, 0.9f, rng2);
+  ASSERT_TRUE(LoadCheckpoint(restored, kPath).ok());
+  Rng data_rng(6);
+  Tensor window = Tensor::Rand({9, 7, 2}, data_rng, 0.0f, 2.0f);
+  NoGradGuard no_grad;
+  original.SetTraining(false);
+  restored.SetTraining(false);
+  EXPECT_EQ(original.Forward(window, false).prediction.Data(),
+            restored.Forward(window, false).prediction.Data());
+  std::remove(kPath);
+}
+
+TEST(SerializationTest, RejectsArchitectureMismatch) {
+  Rng rng(7);
+  Linear small(4, 3, rng);
+  ASSERT_TRUE(SaveCheckpoint(small, kPath).ok());
+
+  Linear different_shape(4, 5, rng);
+  Status wrong_shape = LoadCheckpoint(different_shape, kPath);
+  EXPECT_FALSE(wrong_shape.ok());
+
+  GruCell different_arch(2, 2, rng);
+  Status wrong_count = LoadCheckpoint(different_arch, kPath);
+  EXPECT_FALSE(wrong_count.ok());
+  EXPECT_EQ(wrong_count.code(), Status::Code::kFailedPrecondition);
+  std::remove(kPath);
+}
+
+TEST(SerializationTest, RejectsCorruptFile) {
+  {
+    std::ofstream file(kPath, std::ios::binary);
+    file << "not a checkpoint at all";
+  }
+  Rng rng(8);
+  Linear layer(2, 2, rng);
+  Status status = LoadCheckpoint(layer, kPath);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  std::remove(kPath);
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  Rng rng(9);
+  Linear layer(2, 2, rng);
+  Status status = LoadCheckpoint(layer, "/tmp/definitely_absent_ckpt.bin");
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+}
+
+}  // namespace
+}  // namespace sthsl

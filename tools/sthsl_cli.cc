@@ -1,0 +1,268 @@
+// sthsl — command-line interface to the library, covering the full
+// lifecycle a downstream user needs without writing C++:
+//
+//   sthsl generate --city nyc --out data.csv [--seed N] [--days N]
+//   sthsl train    --data data.csv --ckpt model.bin [--epochs N] [...]
+//   sthsl evaluate --data data.csv --ckpt model.bin
+//   sthsl forecast --data data.csv --ckpt model.bin [--horizon N]
+//   sthsl stats    --data data.csv
+//
+// Checkpoints store only parameters; `train`, `evaluate` and `forecast`
+// must be invoked with the same architecture flags (--dim, --hyper,
+// --kernel, --window) for shapes to line up — mismatches are rejected by
+// the strict checkpoint loader.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/forecaster.h"
+#include "core/multi_step.h"
+#include "core/sthsl_model.h"
+#include "data/generator.h"
+#include "data/stats.h"
+#include "nn/serialization.h"
+
+using namespace sthsl;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoll(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sthsl_cli <command> [options]\n"
+      "  generate --city nyc|chicago --out FILE [--seed N] [--days N]\n"
+      "  train    --data FILE --ckpt FILE [--epochs N] [--dim N]\n"
+      "           [--hyper N] [--kernel N] [--window N] [--steps N]\n"
+      "  evaluate --data FILE --ckpt FILE [architecture flags]\n"
+      "  forecast --data FILE --ckpt FILE [--horizon N] [arch flags]\n"
+      "  stats    --data FILE\n");
+  return 2;
+}
+
+SthslConfig ConfigFromArgs(const Args& args) {
+  SthslConfig config;
+  config.dim = args.GetInt("dim", 16);
+  config.num_hyperedges = args.GetInt("hyper", 32);
+  config.kernel_size = args.GetInt("kernel", 3);
+  config.train.window = args.GetInt("window", 14);
+  config.train.epochs = args.GetInt("epochs", 12);
+  config.train.max_steps_per_epoch = args.GetInt("steps", 16);
+  config.train.seed = static_cast<uint64_t>(args.GetInt("train-seed", 7));
+  return config;
+}
+
+Result<CrimeDataset> LoadData(const Args& args) {
+  const std::string path = args.Get("data", "");
+  if (path.empty()) return Status::InvalidArgument("--data is required");
+  return CrimeDataset::LoadCsv(path);
+}
+
+// Builds a forecaster whose network is materialized (via a minimal Fit) so
+// a checkpoint can be loaded into it.
+SthslForecaster MaterializeModel(const SthslConfig& config,
+                                 const CrimeDataset& data,
+                                 int64_t train_end) {
+  SthslConfig init = config;
+  init.train.epochs = 1;
+  init.train.max_steps_per_epoch = 1;
+  init.train.validation_days = 0;
+  SthslForecaster model(init);
+  model.Fit(data, train_end);
+  return model;
+}
+
+int CmdGenerate(const Args& args) {
+  CrimeGenConfig gen = args.Get("city", "nyc") == "chicago"
+                           ? ChicagoSmallPreset()
+                           : NycSmallPreset();
+  if (args.options.count("days")) {
+    const int64_t days = args.GetInt("days", gen.days);
+    // Rescale category totals so the per-day intensity stays calibrated.
+    for (auto& total : gen.category_totals) {
+      total *= static_cast<double>(days) / static_cast<double>(gen.days);
+    }
+    gen.days = days;
+  }
+  if (args.options.count("seed")) {
+    gen.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+  }
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  CrimeDataset data = GenerateCrimeData(gen);
+  Status status = data.SaveCsv(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld regions x %lld days x %lld categories\n",
+              out.c_str(), static_cast<long long>(data.num_regions()),
+              static_cast<long long>(data.num_days()),
+              static_cast<long long>(data.num_categories()));
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  auto data_or = LoadData(args);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const CrimeDataset& data = data_or.value();
+  const int64_t train_end = data.num_days() - data.num_days() / 8;
+  SthslConfig config = ConfigFromArgs(args);
+  SthslForecaster model(config);
+  std::printf("training ST-HSL (%lld epochs) on days [0, %lld)...\n",
+              static_cast<long long>(config.train.epochs),
+              static_cast<long long>(train_end));
+  model.Fit(data, train_end);
+
+  const std::string ckpt = args.Get("ckpt", "");
+  if (!ckpt.empty()) {
+    Status status = SaveCheckpoint(*model.net(), ckpt);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint written to %s\n", ckpt.c_str());
+  }
+  CrimeMetrics metrics =
+      EvaluateForecaster(model, data, train_end, data.num_days());
+  const EvalResult overall = metrics.Overall();
+  std::printf("test MAE %.4f  MAPE %.4f  RMSE %.4f\n", overall.mae,
+              overall.mape, overall.rmse);
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  auto data_or = LoadData(args);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const CrimeDataset& data = data_or.value();
+  const int64_t train_end = data.num_days() - data.num_days() / 8;
+  SthslForecaster model =
+      MaterializeModel(ConfigFromArgs(args), data, train_end);
+  Status status = LoadCheckpoint(
+      const_cast<SthslNet&>(*model.net()), args.Get("ckpt", ""));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  CrimeMetrics metrics =
+      EvaluateForecaster(model, data, train_end, data.num_days());
+  for (int64_t c = 0; c < data.num_categories(); ++c) {
+    const EvalResult r = metrics.Category(c);
+    std::printf("%-12s MAE %.4f  MAPE %.4f  RMSE %.4f\n",
+                data.category_names()[static_cast<size_t>(c)].c_str(), r.mae,
+                r.mape, r.rmse);
+  }
+  const EvalResult overall = metrics.Overall();
+  std::printf("%-12s MAE %.4f  MAPE %.4f  RMSE %.4f  hit-rate@3 %.2f\n",
+              "overall", overall.mae, overall.mape, overall.rmse,
+              metrics.HitRateAtK(std::min<int64_t>(3, data.num_regions())));
+  return 0;
+}
+
+int CmdForecast(const Args& args) {
+  auto data_or = LoadData(args);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const CrimeDataset& data = data_or.value();
+  const int64_t horizon = args.GetInt("horizon", 7);
+  SthslForecaster model =
+      MaterializeModel(ConfigFromArgs(args), data, data.num_days());
+  Status status = LoadCheckpoint(
+      const_cast<SthslNet&>(*model.net()), args.Get("ckpt", ""));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto forecasts = ForecastHorizon(model, data, data.num_days(), horizon);
+  std::printf("citywide expected incidents per category, next %lld days:\n",
+              static_cast<long long>(horizon));
+  std::printf("%-6s", "day");
+  for (const auto& cat : data.category_names()) {
+    std::printf("%12s", cat.substr(0, 10).c_str());
+  }
+  std::printf("\n");
+  for (size_t h = 0; h < forecasts.size(); ++h) {
+    std::printf("+%-5zu", h + 1);
+    for (int64_t c = 0; c < data.num_categories(); ++c) {
+      double total = 0.0;
+      for (int64_t r = 0; r < data.num_regions(); ++r) {
+        total += forecasts[h].At({r, c});
+      }
+      std::printf("%12.1f", total);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto data_or = LoadData(args);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const CrimeDataset& data = data_or.value();
+  std::printf("%s: %lldx%lld grid (%lld regions), %lld days\n",
+              data.city_name().c_str(), static_cast<long long>(data.rows()),
+              static_cast<long long>(data.cols()),
+              static_cast<long long>(data.num_regions()),
+              static_cast<long long>(data.num_days()));
+  for (int64_t c = 0; c < data.num_categories(); ++c) {
+    std::printf("  %-12s %10.0f cases  gini %.3f\n",
+                data.category_names()[static_cast<size_t>(c)].c_str(),
+                data.CategoryTotal(c), SpatialGini(data, c));
+  }
+  auto histogram = DensityHistogram(data, 0.25);
+  std::printf("  density bins (0.25 wide):");
+  for (int64_t count : histogram) {
+    std::printf(" %lld", static_cast<long long>(count));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "train") return CmdTrain(args);
+  if (args.command == "evaluate") return CmdEvaluate(args);
+  if (args.command == "forecast") return CmdForecast(args);
+  if (args.command == "stats") return CmdStats(args);
+  return Usage();
+}
