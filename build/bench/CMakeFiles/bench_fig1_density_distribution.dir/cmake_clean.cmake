@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_density_distribution.dir/bench_fig1_density_distribution.cc.o"
+  "CMakeFiles/bench_fig1_density_distribution.dir/bench_fig1_density_distribution.cc.o.d"
+  "CMakeFiles/bench_fig1_density_distribution.dir/common.cc.o"
+  "CMakeFiles/bench_fig1_density_distribution.dir/common.cc.o.d"
+  "bench_fig1_density_distribution"
+  "bench_fig1_density_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_density_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_skewed_distribution.dir/bench_fig2_skewed_distribution.cc.o"
+  "CMakeFiles/bench_fig2_skewed_distribution.dir/bench_fig2_skewed_distribution.cc.o.d"
+  "CMakeFiles/bench_fig2_skewed_distribution.dir/common.cc.o"
+  "CMakeFiles/bench_fig2_skewed_distribution.dir/common.cc.o.d"
+  "bench_fig2_skewed_distribution"
+  "bench_fig2_skewed_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_skewed_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

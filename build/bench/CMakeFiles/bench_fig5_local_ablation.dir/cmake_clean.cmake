@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_local_ablation.dir/bench_fig5_local_ablation.cc.o"
+  "CMakeFiles/bench_fig5_local_ablation.dir/bench_fig5_local_ablation.cc.o.d"
+  "CMakeFiles/bench_fig5_local_ablation.dir/common.cc.o"
+  "CMakeFiles/bench_fig5_local_ablation.dir/common.cc.o.d"
+  "bench_fig5_local_ablation"
+  "bench_fig5_local_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_local_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

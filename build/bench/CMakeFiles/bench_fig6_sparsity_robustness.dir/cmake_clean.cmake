@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sparsity_robustness.dir/bench_fig6_sparsity_robustness.cc.o"
+  "CMakeFiles/bench_fig6_sparsity_robustness.dir/bench_fig6_sparsity_robustness.cc.o.d"
+  "CMakeFiles/bench_fig6_sparsity_robustness.dir/common.cc.o"
+  "CMakeFiles/bench_fig6_sparsity_robustness.dir/common.cc.o.d"
+  "bench_fig6_sparsity_robustness"
+  "bench_fig6_sparsity_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sparsity_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hyperparameters.dir/bench_fig7_hyperparameters.cc.o"
+  "CMakeFiles/bench_fig7_hyperparameters.dir/bench_fig7_hyperparameters.cc.o.d"
+  "CMakeFiles/bench_fig7_hyperparameters.dir/common.cc.o"
+  "CMakeFiles/bench_fig7_hyperparameters.dir/common.cc.o.d"
+  "bench_fig7_hyperparameters"
+  "bench_fig7_hyperparameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hyperparameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

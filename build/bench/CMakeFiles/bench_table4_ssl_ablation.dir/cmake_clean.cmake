@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ssl_ablation.dir/bench_table4_ssl_ablation.cc.o"
+  "CMakeFiles/bench_table4_ssl_ablation.dir/bench_table4_ssl_ablation.cc.o.d"
+  "CMakeFiles/bench_table4_ssl_ablation.dir/common.cc.o"
+  "CMakeFiles/bench_table4_ssl_ablation.dir/common.cc.o.d"
+  "bench_table4_ssl_ablation"
+  "bench_table4_ssl_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ssl_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

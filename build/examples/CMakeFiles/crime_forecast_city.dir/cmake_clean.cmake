@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_forecast_city.dir/crime_forecast_city.cpp.o"
+  "CMakeFiles/crime_forecast_city.dir/crime_forecast_city.cpp.o.d"
+  "crime_forecast_city"
+  "crime_forecast_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_forecast_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

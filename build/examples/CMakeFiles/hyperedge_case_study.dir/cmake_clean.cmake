@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperedge_case_study.dir/hyperedge_case_study.cpp.o"
+  "CMakeFiles/hyperedge_case_study.dir/hyperedge_case_study.cpp.o.d"
+  "hyperedge_case_study"
+  "hyperedge_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperedge_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_pipeline.dir/incident_pipeline.cpp.o"
+  "CMakeFiles/incident_pipeline.dir/incident_pipeline.cpp.o.d"
+  "incident_pipeline"
+  "incident_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/attention_models.cc" "src/CMakeFiles/sthsl.dir/baselines/attention_models.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/baselines/attention_models.cc.o.d"
+  "/root/repo/src/baselines/classical.cc" "src/CMakeFiles/sthsl.dir/baselines/classical.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/baselines/classical.cc.o.d"
+  "/root/repo/src/baselines/graph_models.cc" "src/CMakeFiles/sthsl.dir/baselines/graph_models.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/baselines/graph_models.cc.o.d"
+  "/root/repo/src/baselines/graph_utils.cc" "src/CMakeFiles/sthsl.dir/baselines/graph_utils.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/baselines/graph_utils.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/sthsl.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/st_resnet.cc" "src/CMakeFiles/sthsl.dir/baselines/st_resnet.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/baselines/st_resnet.cc.o.d"
+  "/root/repo/src/baselines/stshn.cc" "src/CMakeFiles/sthsl.dir/baselines/stshn.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/baselines/stshn.cc.o.d"
+  "/root/repo/src/core/ablation.cc" "src/CMakeFiles/sthsl.dir/core/ablation.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/core/ablation.cc.o.d"
+  "/root/repo/src/core/forecaster.cc" "src/CMakeFiles/sthsl.dir/core/forecaster.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/core/forecaster.cc.o.d"
+  "/root/repo/src/core/multi_step.cc" "src/CMakeFiles/sthsl.dir/core/multi_step.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/core/multi_step.cc.o.d"
+  "/root/repo/src/core/neural_forecaster.cc" "src/CMakeFiles/sthsl.dir/core/neural_forecaster.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/core/neural_forecaster.cc.o.d"
+  "/root/repo/src/core/sthsl_model.cc" "src/CMakeFiles/sthsl.dir/core/sthsl_model.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/core/sthsl_model.cc.o.d"
+  "/root/repo/src/data/crime_dataset.cc" "src/CMakeFiles/sthsl.dir/data/crime_dataset.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/data/crime_dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/sthsl.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/incidents.cc" "src/CMakeFiles/sthsl.dir/data/incidents.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/data/incidents.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/sthsl.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/data/stats.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/sthsl.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/sthsl.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/sthsl.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/CMakeFiles/sthsl.dir/nn/serialization.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/nn/serialization.cc.o.d"
+  "/root/repo/src/tensor/conv.cc" "src/CMakeFiles/sthsl.dir/tensor/conv.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/tensor/conv.cc.o.d"
+  "/root/repo/src/tensor/matmul.cc" "src/CMakeFiles/sthsl.dir/tensor/matmul.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/tensor/matmul.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/sthsl.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/CMakeFiles/sthsl.dir/tensor/optimizer.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/tensor/optimizer.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/sthsl.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/sthsl.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/sthsl.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/sthsl.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sthsl.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sthsl.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incidents_test.dir/incidents_test.cc.o"
+  "CMakeFiles/incidents_test.dir/incidents_test.cc.o.d"
+  "incidents_test"
+  "incidents_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incidents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

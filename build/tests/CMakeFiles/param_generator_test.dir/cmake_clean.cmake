@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_generator_test.dir/param_generator_test.cc.o"
+  "CMakeFiles/param_generator_test.dir/param_generator_test.cc.o.d"
+  "param_generator_test"
+  "param_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

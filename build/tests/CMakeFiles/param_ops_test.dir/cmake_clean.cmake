@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_ops_test.dir/param_ops_test.cc.o"
+  "CMakeFiles/param_ops_test.dir/param_ops_test.cc.o.d"
+  "param_ops_test"
+  "param_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

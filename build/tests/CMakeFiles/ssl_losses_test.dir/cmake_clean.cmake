@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssl_losses_test.dir/ssl_losses_test.cc.o"
+  "CMakeFiles/ssl_losses_test.dir/ssl_losses_test.cc.o.d"
+  "ssl_losses_test"
+  "ssl_losses_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssl_losses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sthsl_model_test.dir/sthsl_model_test.cc.o"
+  "CMakeFiles/sthsl_model_test.dir/sthsl_model_test.cc.o.d"
+  "sthsl_model_test"
+  "sthsl_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sthsl_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sthsl_cli.dir/sthsl_cli.cc.o"
+  "CMakeFiles/sthsl_cli.dir/sthsl_cli.cc.o.d"
+  "sthsl_cli"
+  "sthsl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sthsl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
