@@ -57,7 +57,9 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
   double best_validation = std::numeric_limits<double>::infinity();
   int64_t checks_without_improvement = 0;
   std::vector<std::vector<float>> best_params;
-  const auto params = root->Parameters();
+  // Mutable handles: the EMA swap and best-snapshot restore below rewrite the
+  // parameter buffers in place.
+  auto params = root->MutableParameters();
 
   // Polyak (EMA) shadow of the parameters; validation and the final model
   // use the shadow, which is far less noisy than the last SGD iterate.
@@ -80,7 +82,7 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
   auto swap_with_ema = [&]() {
     if (ema_decay <= 0.0f) return;
     for (size_t i = 0; i < params.size(); ++i) {
-      const_cast<Tensor&>(params[i]).MutableData().swap(ema[i]);
+      params[i].MutableData().swap(ema[i]);
     }
   };
 
@@ -178,7 +180,7 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
   if (!best_params.empty()) {
     // Final model: the best-on-validation (EMA) snapshot.
     for (size_t i = 0; i < params.size(); ++i) {
-      const_cast<Tensor&>(params[i]).MutableData() = best_params[i];
+      params[i].MutableData() = best_params[i];
     }
   } else if (ema_decay > 0.0f) {
     swap_with_ema();  // no validation ran: keep the averaged parameters

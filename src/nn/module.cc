@@ -27,6 +27,8 @@ std::vector<Tensor> Module::Parameters() const {
   return out;
 }
 
+std::vector<Tensor> Module::MutableParameters() { return Parameters(); }
+
 std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
   std::vector<std::pair<std::string, Tensor>> out;
   for (const auto& [name, p] : params_) out.emplace_back(name, p);

@@ -26,6 +26,12 @@ class Module {
   /// All trainable parameters of this module and its children (depth-first).
   std::vector<Tensor> Parameters() const;
 
+  /// Same traversal as Parameters(), but exposed on a non-const module for
+  /// callers that rewrite parameter buffers in place (EMA swaps, snapshot
+  /// restores, checkpoint loading). Mutating through handles obtained from
+  /// the const accessor requires const_cast, which the repo lint forbids.
+  std::vector<Tensor> MutableParameters();
+
   /// Named parameters, prefixed with the registration path (for debugging
   /// and checkpoints).
   std::vector<std::pair<std::string, Tensor>> NamedParameters() const;

@@ -61,6 +61,22 @@ Status LoadCheckpoint(Module& module, const std::string& path) {
   if (!file.is_open()) {
     return Status::IoError("cannot open checkpoint for reading: " + path);
   }
+  // Every size field read below is bounds-checked against the bytes actually
+  // present in the file before any allocation, so a truncated or corrupt
+  // checkpoint yields an error Status instead of a bad_alloc/length_error
+  // (or an attempt to read gigabytes from a garbage size field).
+  file.seekg(0, std::ios::end);
+  const std::streamoff file_size = file.tellg();
+  file.seekg(0, std::ios::beg);
+  if (file_size < 0) {
+    return Status::IoError("cannot determine checkpoint size: " + path);
+  }
+  auto remaining = [&file, file_size]() -> uint64_t {
+    const std::streamoff pos = file.tellg();
+    if (pos < 0 || pos > file_size) return 0;
+    return static_cast<uint64_t>(file_size - pos);
+  };
+
   char magic[sizeof(kMagic)];
   if (!file.read(magic, sizeof(magic)) ||
       !std::equal(magic, magic + sizeof(magic), kMagic)) {
@@ -70,6 +86,10 @@ Status LoadCheckpoint(Module& module, const std::string& path) {
   if (!ReadU64(file, &count)) {
     return Status::IoError("truncated checkpoint header: " + path);
   }
+  // Each entry needs at least a name size, a rank and an empty name/shape.
+  if (count > remaining() / 16) {
+    return Status::IoError("corrupt checkpoint parameter count in " + path);
+  }
 
   struct Entry {
     std::vector<int64_t> shape;
@@ -78,7 +98,8 @@ Status LoadCheckpoint(Module& module, const std::string& path) {
   std::map<std::string, Entry> entries;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_size = 0;
-    if (!ReadU64(file, &name_size) || name_size > 4096) {
+    if (!ReadU64(file, &name_size) || name_size > 4096 ||
+        name_size > remaining()) {
       return Status::IoError("corrupt checkpoint entry in " + path);
     }
     std::string name(name_size, '\0');
@@ -96,8 +117,14 @@ Status LoadCheckpoint(Module& module, const std::string& path) {
       if (!ReadU64(file, &extent)) {
         return Status::IoError("truncated checkpoint shape in " + path);
       }
+      if (extent != 0 && numel > remaining() / extent) {
+        return Status::IoError("corrupt checkpoint extent in " + path);
+      }
       entry.shape.push_back(static_cast<int64_t>(extent));
       numel *= extent;
+    }
+    if (numel * sizeof(float) > remaining()) {
+      return Status::IoError("truncated checkpoint payload in " + path);
     }
     entry.data.resize(numel);
     if (!file.read(reinterpret_cast<char*>(entry.data.data()),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/debug_validator.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -16,6 +17,11 @@ bool NeedsGrad(const Tensor& t) {
 
 Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t pad_h, int64_t pad_w) {
+  if (DebugChecksEnabled()) {
+    ValidateOpInput("conv2d", "input", input);
+    ValidateOpInput("conv2d", "weight", weight);
+    ValidateOpInput("conv2d", "bias", bias);
+  }
   STHSL_CHECK_EQ(input.Dim(), 4) << "Conv2d input must be (N, Cin, H, W)";
   STHSL_CHECK_EQ(weight.Dim(), 4) << "Conv2d weight must be (Cout, Cin, KH, KW)";
   const int64_t batch = input.Size(0);

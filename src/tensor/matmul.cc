@@ -1,5 +1,6 @@
 // Matrix-product kernels and the MatMul autograd op.
 
+#include "tensor/debug_validator.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -57,6 +58,10 @@ void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (DebugChecksEnabled()) {
+    ValidateOpInput("matmul", "a", a);
+    ValidateOpInput("matmul", "b", b);
+  }
   const int64_t a_rank = a.Dim();
   const int64_t b_rank = b.Dim();
   STHSL_CHECK(a_rank >= 2 && b_rank >= 2 && a_rank <= 3 && b_rank <= 3)

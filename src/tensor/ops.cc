@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "tensor/debug_validator.h"
 #include "util/check.h"
 
 namespace sthsl {
@@ -187,6 +188,10 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
+  if (DebugChecksEnabled()) {
+    ValidateOpInput("div", "a", a);
+    ValidateOpInput("div", "b", b);
+  }
   return BroadcastBinary(
       "div", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
@@ -220,12 +225,14 @@ Tensor Exp(const Tensor& a) {
 }
 
 Tensor Log(const Tensor& a) {
+  if (DebugChecksEnabled()) ValidateOpInput("log", "a", a);
   return UnaryOp(
       "log", a, [](float x) { return std::log(std::max(x, 1e-12f)); },
       [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
 }
 
 Tensor Sqrt(const Tensor& a) {
+  if (DebugChecksEnabled()) ValidateOpInput("sqrt", "a", a);
   return UnaryOp(
       "sqrt", a, [](float x) { return std::sqrt(x); },
       [](float, float fx) { return 0.5f / std::max(fx, 1e-12f); });

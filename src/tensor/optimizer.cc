@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/debug_validator.h"
 #include "util/check.h"
 
 namespace sthsl {
@@ -28,6 +29,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
 }
 
 void Sgd::Step() {
+  if (DebugChecksEnabled()) ValidateOptimizerStep("Sgd", params_);
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     const auto& g = p.Grad();
@@ -62,6 +64,7 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  if (DebugChecksEnabled()) ValidateOptimizerStep("Adam", params_);
   ++step_count_;
   const float bc1 =
       1.0f - std::pow(beta1_, static_cast<float>(step_count_));

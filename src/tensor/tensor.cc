@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tensor/debug_validator.h"
 #include "util/check.h"
 
 namespace sthsl {
@@ -228,6 +229,7 @@ namespace {
 
 void AccumulateGrad(const std::shared_ptr<TensorImpl>& impl,
                     const Tensor& grad) {
+  if (DebugChecksEnabled()) ValidateGradAccumulation(*impl, grad);
   STHSL_CHECK_EQ(static_cast<int64_t>(impl->data.size()), grad.Numel())
       << "gradient shape mismatch in accumulation";
   if (impl->grad.empty()) impl->grad.assign(impl->data.size(), 0.0f);
@@ -290,10 +292,17 @@ void Tensor::Backward(const Tensor& seed) const {
     const auto& node = *it;
     const auto& fn = node->grad_fn;
     if (!fn) continue;
+    if (DebugChecksEnabled()) {
+      STHSL_CHECK(!fn->backward_consumed)
+          << "debug validator: double Backward through op '" << fn->op_name
+          << "': this graph was already consumed (its intermediate gradients "
+             "were freed) by a previous backward pass";
+    }
     STHSL_CHECK(!node->grad.empty())
         << "node in topo order missing accumulated gradient: " << fn->op_name;
     Tensor grad_out = Tensor::FromVector(node->shape, node->grad);
     std::vector<Tensor> input_grads = fn->backward(grad_out);
+    fn->backward_consumed = true;
     STHSL_CHECK_EQ(input_grads.size(), fn->inputs.size())
         << "backward of " << fn->op_name
         << " returned wrong number of gradients";
@@ -306,6 +315,10 @@ void Tensor::Backward(const Tensor& seed) const {
           << "backward of " << fn->op_name
           << " returned undefined grad for input " << i
           << " which requires grad";
+      if (DebugChecksEnabled()) {
+        ValidateBackwardGradient(fn->op_name, i, input_grads[i],
+                                 input_impl->shape);
+      }
       AccumulateGrad(input_impl, input_grads[i]);
     }
     // Free intermediate gradient buffers and the tape edge eagerly: after a
@@ -339,6 +352,9 @@ Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> data,
                   std::function<std::vector<Tensor>(const Tensor&)> backward) {
   STHSL_CHECK_EQ(NumelOf(shape), static_cast<int64_t>(data.size()))
       << "MakeResult size mismatch in op " << op_name;
+  if (DebugChecksEnabled()) {
+    ValidateForwardResult(op_name, shape, data, inputs);
+  }
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(data);

@@ -39,6 +39,12 @@ struct GradNode {
   std::string op_name;
   std::vector<Tensor> inputs;
   std::function<std::vector<Tensor>(const Tensor& grad_out)> backward;
+
+  /// Set once a Backward() pass has propagated through this node. The graph
+  /// frees intermediate gradient buffers eagerly, so a second pass would
+  /// silently double-accumulate into leaves; the debug validator uses this
+  /// flag to reject double-backward on a consumed graph.
+  bool backward_consumed = false;
 };
 
 /// RAII guard that disables gradient recording within its scope (used inside

@@ -1,0 +1,172 @@
+// Tests for the runtime autograd/numerics validator: injected NaNs abort
+// naming the offending op, malformed backward gradients are rejected,
+// double-backward on a consumed graph is detected, and the disabled path is
+// a strict no-op.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sthsl_model.h"
+#include "tensor/debug_validator.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace sthsl {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Restores the validator enablement flag when the test scope ends.
+class ScopedDebugChecks {
+ public:
+  explicit ScopedDebugChecks(bool enabled)
+      : previous_(SetDebugChecks(enabled)) {}
+  ~ScopedDebugChecks() { SetDebugChecks(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(DebugValidatorTest, InjectedNanInForwardOpAbortsNamingTheOp) {
+  ScopedDebugChecks enabled(true);
+  Tensor a = Tensor::FromVector({2}, {1.0f, kNan});
+  Tensor b = Tensor::Ones({2});
+  EXPECT_DEATH(Add(a, b), "forward op 'add' produced NaN");
+}
+
+TEST(DebugValidatorTest, InfPropagationIsAlsoCaught) {
+  ScopedDebugChecks enabled(true);
+  Tensor a = Tensor::FromVector({2}, {1.0f, kInf});
+  EXPECT_DEATH(MulScalar(a, 2.0f), "forward op 'mul_scalar' produced");
+}
+
+TEST(DebugValidatorTest, NanOperandOfMatMulIsReportedAtTheInput) {
+  ScopedDebugChecks enabled(true);
+  Tensor a = Tensor::FromVector({1, 2}, {kNan, 1.0f});
+  Tensor b = Tensor::Ones({2, 1});
+  EXPECT_DEATH(MatMul(a, b), "op 'matmul' received NaN in operand 'a'");
+}
+
+TEST(DebugValidatorTest, ShapeMismatchedBackwardGradientAborts) {
+  ScopedDebugChecks enabled(true);
+  Tensor x = Tensor::Ones({2, 2}, /*requires_grad=*/true);
+  // A deliberately buggy op whose backward returns a (4)-shaped gradient for
+  // a (2, 2)-shaped input: same element count, wrong shape.
+  Tensor y = MakeResult({2, 2}, x.Data(), "buggy_op", {x},
+                        [](const Tensor&) -> std::vector<Tensor> {
+                          return {Tensor::Ones({4})};
+                        });
+  EXPECT_DEATH(y.Backward(Tensor::Ones({2, 2})),
+               "backward of 'buggy_op' returned a gradient of shape");
+}
+
+TEST(DebugValidatorTest, NanBackwardGradientAborts) {
+  ScopedDebugChecks enabled(true);
+  Tensor x = Tensor::Ones({2}, /*requires_grad=*/true);
+  Tensor y = MakeResult({2}, x.Data(), "nan_grad_op", {x},
+                        [](const Tensor&) -> std::vector<Tensor> {
+                          return {Tensor::FromVector({2}, {kNan, 0.0f})};
+                        });
+  EXPECT_DEATH(y.Backward(Tensor::Ones({2})),
+               "backward of 'nan_grad_op' produced NaN");
+}
+
+TEST(DebugValidatorTest, DoubleBackwardOnConsumedGraphAborts) {
+  ScopedDebugChecks enabled(true);
+  Tensor x = Tensor::Ones({3}, /*requires_grad=*/true);
+  Tensor y = Sum(Mul(x, x));
+  y.Backward();
+  EXPECT_DEATH(y.Backward(), "double Backward through op");
+}
+
+TEST(DebugValidatorTest, OptimizerStepWithNanGradientAborts) {
+  ScopedDebugChecks enabled(true);
+  Tensor w = Tensor::Ones({2}, /*requires_grad=*/true);
+  w.MutableGrad()[0] = kNan;
+  Adam adam({w}, 0.01f, 0.9f, 0.999f, 1e-8f, 0.0f);
+  EXPECT_DEATH(adam.Step(), "Adam step sees NaN in the gradient");
+
+  Sgd sgd({w}, 0.01f, 0.0f, 0.0f);
+  EXPECT_DEATH(sgd.Step(), "Sgd step sees NaN in the gradient");
+}
+
+TEST(DebugValidatorTest, CleanTrainingLoopPassesUnderValidation) {
+  ScopedDebugChecks enabled(true);
+  // y = 2x regression: a few Adam steps must run without tripping any check.
+  Tensor w = Tensor::Scalar(0.0f, /*requires_grad=*/true);
+  Tensor x = Tensor::FromVector({4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor target = Tensor::FromVector({4}, {2.0f, 4.0f, 6.0f, 8.0f});
+  Adam adam({w}, 0.1f, 0.9f, 0.999f, 1e-8f, 0.0f);
+  float last_loss = 0.0f;
+  for (int step = 0; step < 5; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = MseLoss(Mul(x, w), target);
+    loss.Backward();
+    adam.Step();
+    last_loss = loss.Item();
+  }
+  EXPECT_TRUE(std::isfinite(last_loss));
+}
+
+TEST(DebugValidatorTest, NanInjectedIntoSthslTrainingStepAborts) {
+  ScopedDebugChecks enabled(true);
+  Rng rng(42);
+  SthslConfig config;
+  config.dim = 4;
+  config.num_hyperedges = 8;
+  config.train.window = 7;
+  SthslNet net(config, 3, 3, 2, 0.1f, 0.9f, rng);
+  // Corrupt one parameter value, as a numerics bug in an update rule would.
+  net.MutableParameters()[0].MutableData()[0] = kNan;
+  Rng data_rng(43);
+  Tensor window = Tensor::Rand({9, 7, 2}, data_rng, 0.0f, 2.0f);
+  EXPECT_DEATH(net.Forward(window, /*training=*/true), "debug validator");
+}
+
+TEST(DebugValidatorTest, DisabledValidatorIsANoOp) {
+  ScopedDebugChecks disabled(false);
+
+  // NaN flows through forward ops untouched.
+  Tensor a = Tensor::FromVector({2}, {1.0f, kNan});
+  Tensor sum = Add(a, Tensor::Ones({2}));
+  EXPECT_FLOAT_EQ(sum.At(0), 2.0f);
+  EXPECT_TRUE(std::isnan(sum.At(1)));
+
+  // NaN operands reach the matmul kernel without aborting.
+  Tensor m = MatMul(Tensor::FromVector({1, 2}, {kNan, 1.0f}),
+                    Tensor::Ones({2, 1}));
+  EXPECT_TRUE(std::isnan(m.At(0)));
+
+  // Double backward silently re-runs the tape (legacy semantics).
+  Tensor x = Tensor::Ones({3}, /*requires_grad=*/true);
+  Tensor y = Sum(Mul(x, x));
+  y.Backward();
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.Grad()[0], 4.0f);  // two accumulated passes of d/dx x^2
+
+  // Optimizer steps on NaN gradients proceed.
+  Tensor w = Tensor::Ones({2}, /*requires_grad=*/true);
+  w.MutableGrad()[0] = kNan;
+  Sgd sgd({w}, 0.01f, 0.0f, 0.0f);
+  sgd.Step();
+  EXPECT_TRUE(std::isnan(w.Data()[0]));
+}
+
+TEST(DebugValidatorTest, SetDebugChecksReturnsPreviousState) {
+  const bool initial = DebugChecksEnabled();
+  const bool previous = SetDebugChecks(true);
+  EXPECT_EQ(previous, initial);
+  EXPECT_TRUE(DebugChecksEnabled());
+  SetDebugChecks(false);
+  EXPECT_FALSE(DebugChecksEnabled());
+  SetDebugChecks(initial);
+}
+
+}  // namespace
+}  // namespace sthsl

@@ -1,8 +1,11 @@
 // Tests for model checkpointing: exact round-trip, strict validation of
 // architecture mismatches, corruption handling.
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +99,72 @@ TEST(SerializationTest, RejectsCorruptFile) {
   Status status = LoadCheckpoint(layer, kPath);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  std::remove(kPath);
+}
+
+TEST(SerializationTest, TruncatedFileAtEveryPrefixReturnsError) {
+  Rng rng(10);
+  Linear layer(4, 3, rng);
+  ASSERT_TRUE(SaveCheckpoint(layer, kPath).ok());
+  std::string full;
+  {
+    std::ifstream in(kPath, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), 0u);
+
+  // Loading any strict prefix of a valid checkpoint must fail cleanly —
+  // never crash, never silently succeed.
+  for (size_t len = 0; len < full.size(); ++len) {
+    {
+      std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(len));
+    }
+    Rng rng2(11);
+    Linear target(4, 3, rng2);
+    EXPECT_FALSE(LoadCheckpoint(target, kPath).ok())
+        << "truncated prefix of " << len << " bytes was accepted";
+  }
+  std::remove(kPath);
+}
+
+TEST(SerializationTest, GarbageSizeFieldsReturnErrorInsteadOfCrashing) {
+  // Valid magic followed by a parameter whose shape claims ~10^18 elements:
+  // the loader must reject the size instead of attempting the allocation.
+  {
+    std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+    out.write("STHSLCK1", 8);
+    auto write_u64 = [&out](uint64_t v) {
+      unsigned char bytes[8];
+      for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+      }
+      out.write(reinterpret_cast<const char*>(bytes), 8);
+    };
+    write_u64(1);  // one parameter
+    write_u64(6);  // name length
+    out.write("weight", 6);
+    write_u64(2);                      // rank
+    write_u64(1000000000ull);          // extent 0
+    write_u64(1000000000ull);          // extent 1 -> 10^18 elements claimed
+  }
+  Rng rng(12);
+  Linear layer(4, 3, rng);
+  Status status = LoadCheckpoint(layer, kPath);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+
+  // Same with an absurd parameter count and random tail bytes.
+  {
+    std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+    out.write("STHSLCK1", 8);
+    const std::string garbage(64, '\xff');
+    out.write(garbage.data(),
+              static_cast<std::streamsize>(garbage.size()));
+  }
+  status = LoadCheckpoint(layer, kPath);
+  EXPECT_FALSE(status.ok());
   std::remove(kPath);
 }
 

@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+// include-guard violation: the guard above should be derived from the path
+// (STHSL_BAD_GUARD_H_).
+
+#endif  // WRONG_GUARD_NAME_H

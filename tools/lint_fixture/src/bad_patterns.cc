@@ -1,0 +1,15 @@
+// Deliberately broken file: the sthsl_lint_fixture ctest case asserts that
+// the lint binary reports these patterns and exits non-zero.
+
+#include <cassert>
+
+namespace sthsl_lint_fixture {
+
+int StripConst(const int* value) {
+  int* writable = const_cast<int*>(value);  // const-cast violation
+  assert(writable != nullptr);              // bare-assert violation
+  float f = 1.0f;
+  return *reinterpret_cast<int*>(&f) + *writable;  // reinterpret-cast violation
+}
+
+}  // namespace sthsl_lint_fixture

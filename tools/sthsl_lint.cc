@@ -1,0 +1,302 @@
+// sthsl_lint: repo-invariant checker for the ST-HSL source tree.
+//
+// Walks `<root>/src` and enforces:
+//   include-guard      .h guards must be STHSL_<PATH>_<FILE>_H_ (path-derived)
+//   bare-assert        no bare assert( — use STHSL_CHECK and friends
+//   const-cast         no const_cast anywhere under src/
+//   reinterpret-cast   reinterpret_cast only in src/nn/serialization.cc
+//   self-contained     every header compiles standalone (-fsyntax-only)
+//
+// Known violations can be grandfathered in a baseline file (one
+// `<path>:<rule>` per line, `#` comments); anything not listed there fails
+// the run. Registered as a ctest test so violations fail the build.
+//
+// Usage:
+//   sthsl_lint <repo_root> [--baseline <file>] [--compiler <c++>]
+//              [--no-self-contained]
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string path;  // relative to the repo root, '/'-separated
+  int line;          // 1-based; 0 when the finding is file-level
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  fs::path root;
+  fs::path baseline;
+  std::string compiler = "c++";
+  bool check_self_contained = true;
+};
+
+std::string RelPath(const fs::path& file, const fs::path& root) {
+  return fs::relative(file, root).generic_string();
+}
+
+// The guard for src/tensor/ops.h is STHSL_TENSOR_OPS_H_: the path relative
+// to src/, uppercased, with every non-alphanumeric character folded to '_'.
+std::string ExpectedGuard(const std::string& rel_to_src) {
+  std::string guard = "STHSL_";
+  for (char c : rel_to_src) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';  // trailing underscore; ".h" already became "_H"
+  return guard;
+}
+
+std::vector<std::string> ReadLines(const fs::path& file) {
+  std::vector<std::string> lines;
+  std::ifstream in(file);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when `token` occurs in `line` as a standalone identifier (not as a
+// suffix of a longer identifier like static_assert for "assert").
+bool HasToken(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool end_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (start_ok && end_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+void CheckIncludeGuard(const fs::path& file, const std::string& rel,
+                       const std::string& rel_to_src,
+                       const std::vector<std::string>& lines,
+                       std::vector<Violation>& out) {
+  const std::string expected = ExpectedGuard(rel_to_src);
+  std::string ifndef_guard;
+  int ifndef_line = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::istringstream is(lines[i]);
+    std::string directive, symbol;
+    is >> directive >> symbol;
+    if (directive == "#ifndef") {
+      ifndef_guard = symbol;
+      ifndef_line = static_cast<int>(i) + 1;
+      // The guard's #define must follow immediately.
+      if (i + 1 < lines.size()) {
+        std::istringstream next(lines[i + 1]);
+        std::string next_directive, next_symbol;
+        next >> next_directive >> next_symbol;
+        if (next_directive != "#define" || next_symbol != ifndef_guard) {
+          out.push_back({rel, ifndef_line, "include-guard",
+                         "#ifndef " + ifndef_guard +
+                             " is not followed by a matching #define"});
+        }
+      }
+      break;
+    }
+    if (!directive.empty() && directive[0] == '#') break;  // other directive
+  }
+  if (ifndef_guard.empty()) {
+    out.push_back({rel, 1, "include-guard",
+                   "header has no include guard (expected " + expected + ")"});
+  } else if (ifndef_guard != expected) {
+    out.push_back({rel, ifndef_line, "include-guard",
+                   "guard " + ifndef_guard + " does not match the path; "
+                   "expected " + expected});
+  }
+}
+
+// Blanks out comments and string/char literals so the token rules only see
+// code. Raw string literals are not handled (none in the tree; a use would
+// surface as a lint failure worth a look anyway).
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string code(line.size(), ' ');
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = line[i];
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+void CheckTextRules(const std::string& rel,
+                    const std::vector<std::string>& lines,
+                    std::vector<Violation>& out) {
+  const bool reinterpret_allowed = rel == "src/nn/serialization.cc";
+  const std::vector<std::string> code = StripCommentsAndStrings(lines);
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    const int lineno = static_cast<int>(i) + 1;
+    // Call-like bare assert; the preceding-character test in HasToken already
+    // excludes static_assert and STHSL_* macros.
+    const size_t pos = line.find("assert(");
+    if (pos != std::string::npos && (pos == 0 || !IsIdentChar(line[pos - 1]))) {
+      out.push_back({rel, lineno, "bare-assert",
+                     "bare assert() — use STHSL_CHECK so failures carry "
+                     "file/line context and fire in release builds"});
+    }
+    if (HasToken(line, "const_cast")) {
+      out.push_back({rel, lineno, "const-cast",
+                     "const_cast is forbidden in src/ — expose a mutable "
+                     "accessor instead"});
+    }
+    if (!reinterpret_allowed && HasToken(line, "reinterpret_cast")) {
+      out.push_back({rel, lineno, "reinterpret-cast",
+                     "reinterpret_cast is confined to "
+                     "src/nn/serialization.cc"});
+    }
+  }
+}
+
+void CheckSelfContained(const fs::path& file, const std::string& rel,
+                        const Options& opts, std::vector<Violation>& out) {
+  // Compile the header alone: it must pull in everything it needs.
+  std::string cmd = "\"" + opts.compiler + "\" -std=c++20 -fsyntax-only -x c++ -I \"" +
+                    (opts.root / "src").string() + "\" \"" + file.string() +
+                    "\" 2>/dev/null";
+  if (std::system(cmd.c_str()) != 0) {
+    out.push_back({rel, 0, "self-contained",
+                   "header does not compile standalone (" + opts.compiler +
+                       " -std=c++20 -fsyntax-only failed)"});
+  }
+}
+
+std::set<std::string> LoadBaseline(const fs::path& file) {
+  std::set<std::string> suppressed;
+  if (file.empty()) return suppressed;
+  std::ifstream in(file);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim whitespace.
+    line.erase(0, line.find_first_not_of(" \t"));
+    line.erase(line.find_last_not_of(" \t") + 1);
+    if (!line.empty()) suppressed.insert(line);
+  }
+  return suppressed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      opts.baseline = argv[++i];
+    } else if (arg == "--compiler" && i + 1 < argc) {
+      opts.compiler = argv[++i];
+    } else if (arg == "--no-self-contained") {
+      opts.check_self_contained = false;
+    } else if (opts.root.empty()) {
+      opts.root = arg;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opts.root.empty()) {
+    std::cerr << "usage: sthsl_lint <repo_root> [--baseline <file>] "
+                 "[--compiler <c++>] [--no-self-contained]\n";
+    return 2;
+  }
+  const fs::path src = opts.root / "src";
+  if (!fs::is_directory(src)) {
+    std::cerr << "sthsl_lint: no src/ directory under " << opts.root << "\n";
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& file : files) {
+    const std::string rel = RelPath(file, opts.root);
+    const auto lines = ReadLines(file);
+    CheckTextRules(rel, lines, violations);
+    if (file.extension() == ".h") {
+      CheckIncludeGuard(file, rel, RelPath(file, src), lines, violations);
+      if (opts.check_self_contained) {
+        CheckSelfContained(file, rel, opts, violations);
+      }
+    }
+  }
+
+  const std::set<std::string> baseline = LoadBaseline(opts.baseline);
+  int reported = 0;
+  int suppressed = 0;
+  for (const Violation& v : violations) {
+    if (baseline.count(v.path + ":" + v.rule)) {
+      ++suppressed;
+      continue;
+    }
+    std::cout << v.path;
+    if (v.line > 0) std::cout << ":" << v.line;
+    std::cout << ": [" << v.rule << "] " << v.message << "\n";
+    ++reported;
+  }
+
+  std::cout << "sthsl_lint: " << files.size() << " files, " << reported
+            << " violation(s), " << suppressed << " suppressed\n";
+  return reported == 0 ? 0 : 1;
+}
