@@ -5,11 +5,21 @@
 // GTX 1080Ti); the shape to verify is the relative ordering: plain
 // convolutional models (STGCN) cheapest, recurrent/attention-heavy models
 // (DCRNN, STDN) most expensive, ST-HSL in the middle of the pack.
+//
+// With STHSL_TRACE=1 the per-op profiler additionally attributes each
+// model's wall time to individual tensor ops, and the breakdown is printed
+// per model and embedded in BENCH_table5_efficiency.json (written when
+// STHSL_BENCH_JSON_DIR is set).
 
+#include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "common.h"
+#include "util/obs/export.h"
+#include "util/obs/obs.h"
 #include "util/timer.h"
 
 namespace sthsl::bench {
@@ -21,6 +31,44 @@ double MeanEpochSeconds(Forecaster& model, const CityBenchmark& city) {
   if (epochs.empty()) return 0.0;
   return std::accumulate(epochs.begin(), epochs.end(), 0.0) /
          static_cast<double>(epochs.size());
+}
+
+/// Op profiles of the current model run, heaviest (forward + backward) first.
+std::vector<obs::OpProfile> TopOps() {
+  std::vector<obs::OpProfile> ops = obs::OpProfiles();
+  std::sort(ops.begin(), ops.end(),
+            [](const obs::OpProfile& a, const obs::OpProfile& b) {
+              return a.forward_us + a.backward_us >
+                     b.forward_us + b.backward_us;
+            });
+  return ops;
+}
+
+void PrintTopOps(const std::vector<obs::OpProfile>& ops) {
+  const size_t shown = std::min<size_t>(ops.size(), 6);
+  for (size_t i = 0; i < shown; ++i) {
+    const obs::OpProfile& op = ops[i];
+    std::printf("    %-16s calls %-7lld fwd %9.0fus  bwd %9.0fus\n",
+                op.name.c_str(), static_cast<long long>(op.forward_calls),
+                op.forward_us, op.backward_us);
+  }
+}
+
+std::string OpsJson(const std::vector<obs::OpProfile>& ops) {
+  std::string json = "[";
+  const size_t shown = std::min<size_t>(ops.size(), 12);
+  for (size_t i = 0; i < shown; ++i) {
+    const obs::OpProfile& op = ops[i];
+    if (i > 0) json += ",";
+    json += "{\"name\":\"" + obs::JsonEscape(op.name) + "\"";
+    json += ",\"forward_calls\":" + std::to_string(op.forward_calls);
+    json += ",\"forward_us\":" + std::to_string(op.forward_us);
+    json += ",\"backward_calls\":" + std::to_string(op.backward_calls);
+    json += ",\"backward_us\":" + std::to_string(op.backward_us);
+    json += "}";
+  }
+  json += "]";
+  return json;
 }
 
 void Run() {
@@ -35,15 +83,38 @@ void Run() {
   const CityBenchmark nyc = MakeNyc();
   const CityBenchmark chi = MakeChicago();
 
+  std::string models_json;
   PrintTableHeader({"Model", "NYC", "CHI"}, 14, 10);
   for (const auto& name : EfficiencyStudyModelNames()) {
+    // Per-model profile: drop whatever the previous model accumulated so the
+    // op breakdown below belongs to this model alone.
+    obs::ResetProfiler();
+    Timer model_timer;
     auto model_nyc = MakeForecaster(name, config.baseline, config.sthsl);
     const double nyc_seconds = MeanEpochSeconds(*model_nyc, nyc);
     auto model_chi = MakeForecaster(name, config.baseline, config.sthsl);
     const double chi_seconds = MeanEpochSeconds(*model_chi, chi);
+    const double wall_micros = model_timer.ElapsedMicros();
     PrintTableRow(name, {nyc_seconds, chi_seconds}, 14, 10, 3);
+
+    const std::vector<obs::OpProfile> ops = TopOps();
+    if (obs::TraceEnabled() && !ops.empty()) {
+      std::printf("  top ops by attributed time:\n");
+      PrintTopOps(ops);
+    }
+
+    if (!models_json.empty()) models_json += ",";
+    models_json += "{\"name\":\"" + obs::JsonEscape(name) + "\"";
+    models_json += ",\"nyc_epoch_seconds\":" + std::to_string(nyc_seconds);
+    models_json += ",\"chi_epoch_seconds\":" + std::to_string(chi_seconds);
+    models_json += ",\"wall_micros\":" + std::to_string(wall_micros);
+    models_json += ",\"ops\":" + OpsJson(ops) + "}";
+
     std::fprintf(stderr, "[table5] %s done\n", name.c_str());
   }
+  MaybeWriteBenchJson(
+      "table5_efficiency",
+      "{\"bench\":\"table5_efficiency\",\"models\":[" + models_json + "]}");
   std::printf("\nPaper shape to verify: STGCN cheapest; DCRNN and STDN most "
               "expensive;\nST-HSL mid-pack — its SSL losses add only small "
               "overhead.\n");

@@ -56,6 +56,21 @@ ComparisonConfig BenchComparisonConfig() {
   return config;
 }
 
+void MaybeWriteBenchJson(const std::string& name, const std::string& json) {
+  const char* dir = std::getenv("STHSL_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
 void PrintTableHeader(const std::vector<std::string>& columns,
                       int first_width, int width) {
   for (size_t i = 0; i < columns.size(); ++i) {

@@ -35,6 +35,11 @@ CityBenchmark MakeChicago();
 /// and STHSL_BENCH_STEPS overrides.
 ComparisonConfig BenchComparisonConfig();
 
+/// Writes `json` to $STHSL_BENCH_JSON_DIR/BENCH_<name>.json so the bench
+/// harness can collect machine-readable results; no-op when the environment
+/// variable is unset.
+void MaybeWriteBenchJson(const std::string& name, const std::string& json);
+
 /// Formatted table printing: fixed-width columns, 4-decimal floats.
 void PrintTableHeader(const std::vector<std::string>& columns,
                       int first_width = 16, int width = 9);

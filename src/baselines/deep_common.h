@@ -8,6 +8,7 @@
 #include "core/neural_forecaster.h"
 #include "data/crime_dataset.h"
 #include "tensor/ops.h"
+#include "util/obs/obs.h"
 
 namespace sthsl {
 
@@ -44,6 +45,7 @@ class DeepForecasterBase : public NeuralForecaster {
   }
 
   Tensor Forward(const Tensor& window, bool training) final {
+    STHSL_TRACE_SCOPE("baseline/forward");
     Tensor z = (window - mean_) * (1.0f / stddev_);
     Tensor out = ForwardCore(z, training);  // (R, C) in normalized space
     return AddScalar(MulScalar(out, stddev_), mean_);

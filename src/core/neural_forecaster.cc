@@ -8,6 +8,8 @@
 #include "tensor/ops.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/obs/metrics.h"
+#include "util/obs/obs.h"
 #include "util/timer.h"
 
 namespace sthsl {
@@ -17,6 +19,7 @@ Tensor NeuralForecaster::Loss(const Tensor& pred, const Tensor& target) {
 }
 
 void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
+  STHSL_TRACE_SCOPE("train/fit");
   const int64_t window = train_config_.window;
   STHSL_CHECK(train_end > window && train_end <= data.num_days())
       << "train_end " << train_end << " incompatible with window " << window;
@@ -87,6 +90,7 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
   };
 
   auto validate = [&]() {
+    STHSL_TRACE_SCOPE("train/validate");
     NoGradGuard no_grad;
     root->SetTraining(false);
     CrimeMetrics metrics(data.num_regions(), data.num_categories());
@@ -120,31 +124,64 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
         (static_cast<int64_t>(targets.size()) + batch - 1) / batch);
     double epoch_loss = 0.0;
     int64_t cursor = 0;
-    for (int64_t step = 0; step < steps; ++step) {
-      optimizer_->ZeroGrad();
-      int64_t accumulated = 0;
-      // Gradient accumulation over `batch` windows approximates mini-batch
-      // training on a framework without a leading batch dimension.
-      for (int64_t b = 0;
-           b < batch && cursor < static_cast<int64_t>(targets.size());
-           ++b, ++cursor) {
-        const int64_t t = targets[static_cast<size_t>(cursor)];
-        Tensor input = data.WindowInput(t, window);
-        Tensor target = data.TargetDay(t);
-        current_target_day_ = t;
-        Tensor pred = Forward(input, /*training=*/true);
-        Tensor loss = MulScalar(Loss(pred, target),
-                                1.0f / static_cast<float>(batch));
-        loss.Backward();
-        epoch_loss += loss.Item() * static_cast<double>(batch);
-        ++accumulated;
-      }
-      if (accumulated > 0) {
-        optimizer_->Step();
-        update_ema();
+    int64_t epoch_windows = 0;
+    {
+      STHSL_TRACE_SCOPE("train/epoch");
+      for (int64_t step = 0; step < steps; ++step) {
+        STHSL_TRACE_SCOPE("train/step");
+        optimizer_->ZeroGrad();
+        int64_t accumulated = 0;
+        // Gradient accumulation over `batch` windows approximates mini-batch
+        // training on a framework without a leading batch dimension.
+        for (int64_t b = 0;
+             b < batch && cursor < static_cast<int64_t>(targets.size());
+             ++b, ++cursor) {
+          const int64_t t = targets[static_cast<size_t>(cursor)];
+          Tensor input = data.WindowInput(t, window);
+          Tensor target = data.TargetDay(t);
+          current_target_day_ = t;
+          Tensor pred = Forward(input, /*training=*/true);
+          Tensor loss = MulScalar(Loss(pred, target),
+                                  1.0f / static_cast<float>(batch));
+          loss.Backward();
+          epoch_loss += loss.Item() * static_cast<double>(batch);
+          ++accumulated;
+        }
+        if (accumulated > 0) {
+          epoch_windows += accumulated;
+          if (obs::TraceEnabled()) {
+            // Global gradient norm over every parameter, pre-update; the
+            // histogram's percentiles expose exploding/vanishing gradients.
+            double sq = 0.0;
+            for (const auto& p : params) {
+              for (float g : p.Grad()) {
+                sq += static_cast<double>(g) * static_cast<double>(g);
+              }
+            }
+            obs::MetricsRegistry::Global()
+                .GetHistogram("train/grad_norm")
+                .Record(std::sqrt(sq));
+          }
+          optimizer_->Step();
+          update_ema();
+        }
       }
     }
     epoch_seconds_.push_back(timer.ElapsedSeconds());
+    if (obs::TraceEnabled()) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("train/epochs").Add(1);
+      registry.GetCounter("train/windows").Add(epoch_windows);
+      registry.GetHistogram("train/epoch_loss")
+          .Record(epoch_loss / static_cast<double>(std::max<int64_t>(steps, 1)));
+      const double secs = epoch_seconds_.back();
+      if (secs > 0.0 && epoch_windows > 0) {
+        registry.GetHistogram("train/samples_per_sec")
+            .Record(static_cast<double>(epoch_windows) / secs);
+      }
+      registry.GetGauge("tensor/peak_bytes")
+          .Set(static_cast<double>(obs::PeakTensorBytes()));
+    }
 
     const bool last_epoch = epoch + 1 == train_config_.epochs;
     if (!validation_targets.empty() &&
@@ -189,6 +226,7 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
 }
 
 Tensor NeuralForecaster::PredictDay(const CrimeDataset& data, int64_t t) {
+  STHSL_TRACE_SCOPE("infer/predict_day");
   Module* root = RootModule();
   STHSL_CHECK(root != nullptr);
   root->SetTraining(false);

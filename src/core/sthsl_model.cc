@@ -4,6 +4,7 @@
 
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/obs/obs.h"
 
 namespace sthsl {
 
@@ -90,6 +91,7 @@ Tensor SthslNet::EmbedWindow(const Tensor& window) const {
 // Eq. 2-3: two spatial then two temporal convolution layers, each with
 // dropout, residual connection and LeakyReLU.
 Tensor SthslNet::LocalEncode(const Tensor& embeddings, bool training) {
+  STHSL_TRACE_SCOPE("sthsl/local_encoder");
   const int64_t w = embeddings.Size(1);
   const int64_t d = config_.dim;
   const float slope = config_.leaky_slope;
@@ -135,6 +137,7 @@ Tensor SthslNet::LocalEncode(const Tensor& embeddings, bool training) {
 
 // Eq. 4: Gamma = sigma(H^T sigma(H E)), hyperedges as intermediate hubs.
 Tensor SthslNet::HypergraphPropagate(const Tensor& embeddings) const {
+  STHSL_TRACE_SCOPE("sthsl/hypergraph_prop");
   const int64_t w = embeddings.Size(1);
   const int64_t d = config_.dim;
   const float slope = config_.leaky_slope;
@@ -154,6 +157,7 @@ Tensor SthslNet::HypergraphPropagate(const Tensor& embeddings) const {
 
 // Eq. 5: stacked single-channel temporal convolutions on the global view.
 Tensor SthslNet::GlobalTemporal(const Tensor& gamma, bool training) {
+  STHSL_TRACE_SCOPE("sthsl/global_temporal");
   const int64_t w = gamma.Size(1);
   const int64_t d = config_.dim;
   const float slope = config_.leaky_slope;
@@ -172,6 +176,7 @@ Tensor SthslNet::GlobalTemporal(const Tensor& gamma, bool training) {
 // Eq. 6-7: readout + bilinear discrimination of original vs corrupt nodes.
 Tensor SthslNet::InfomaxLoss(const Tensor& gamma,
                              const Tensor& corrupt_gamma) const {
+  STHSL_TRACE_SCOPE("sthsl/infomax_loss");
   const int64_t w = gamma.Size(1);
   const int64_t d = config_.dim;
   Tensor psi = Mean(gamma, {0});  // (W, C, d) graph-level readout, Eq. 6
@@ -196,6 +201,7 @@ Tensor SthslNet::InfomaxLoss(const Tensor& gamma,
 // come from other regions of the same category.
 Tensor SthslNet::ContrastiveLoss(const Tensor& local,
                                  const Tensor& global) const {
+  STHSL_TRACE_SCOPE("sthsl/contrastive_loss");
   Tensor l = L2NormalizeRows(Mean(local, {1}));   // (R, C, d)
   Tensor g = L2NormalizeRows(Mean(global, {1}));  // (R, C, d)
   const float inv_tau = 1.0f / config_.temperature;
@@ -225,6 +231,7 @@ Tensor SthslNet::ContrastiveLoss(const Tensor& local,
 // Eq. 9: temporal mean pooling followed by a linear read-out, then
 // de-normalization back to count space.
 Tensor SthslNet::Predict(const Tensor& local, const Tensor& global) {
+  STHSL_TRACE_SCOPE("sthsl/predict_head");
   PredictionSource source = config_.prediction_source;
   if (!config_.use_hypergraph) source = PredictionSource::kLocal;
 
@@ -260,6 +267,7 @@ Tensor SthslNet::Predict(const Tensor& local, const Tensor& global) {
 }
 
 SthslNet::Output SthslNet::Forward(const Tensor& window, bool training) {
+  STHSL_TRACE_SCOPE("sthsl/forward");
   Output output;
   Tensor embeddings = EmbedWindow(window);
   Tensor local = config_.use_local_encoder

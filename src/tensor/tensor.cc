@@ -8,6 +8,7 @@
 
 #include "tensor/debug_validator.h"
 #include "util/check.h"
+#include "util/obs/obs.h"
 
 namespace sthsl {
 namespace {
@@ -56,9 +57,18 @@ std::vector<int64_t> BroadcastShapes(const std::vector<int64_t>& a,
   return out;
 }
 
+TensorImpl::~TensorImpl() {
+  if (obs::TraceEnabled()) {
+    obs::OnTensorFree(static_cast<int64_t>(data.size()) * 4);
+  }
+}
+
 // -- Factories ----------------------------------------------------------------
 
 Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
+  if (obs::TraceEnabled() && impl != nullptr) {
+    obs::OnTensorAlloc(static_cast<int64_t>(impl->data.size()) * 4);
+  }
   Tensor t;
   t.impl_ = std::move(impl);
   return t;
@@ -280,6 +290,10 @@ void Tensor::Backward(const Tensor& seed) const {
   }
   STHSL_CHECK_EQ(initial.Numel(), Numel()) << "seed shape mismatch";
 
+  // Suspends forward-op attribution for the duration of the pass; per-node
+  // backward timing below takes over.
+  obs::BackwardPassGuard obs_backward_guard;
+
   AccumulateGrad(impl_, initial);
 
   std::vector<std::shared_ptr<TensorImpl>> order;
@@ -301,7 +315,10 @@ void Tensor::Backward(const Tensor& seed) const {
     STHSL_CHECK(!node->grad.empty())
         << "node in topo order missing accumulated gradient: " << fn->op_name;
     Tensor grad_out = Tensor::FromVector(node->shape, node->grad);
+    const bool obs_on = obs::TraceEnabled();
+    const double obs_start_us = obs_on ? obs::TraceNowMicros() : 0.0;
     std::vector<Tensor> input_grads = fn->backward(grad_out);
+    if (obs_on) obs::RecordBackwardOp(fn->op_name, obs_start_us);
     fn->backward_consumed = true;
     STHSL_CHECK_EQ(input_grads.size(), fn->inputs.size())
         << "backward of " << fn->op_name
@@ -350,6 +367,17 @@ std::string Tensor::ToString() const {
 Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> data,
                   std::string op_name, std::vector<Tensor> inputs,
                   std::function<std::vector<Tensor>(const Tensor&)> backward) {
+  // Per-op profiler hook: attribute the wall time since the previous op
+  // boundary on this thread (the kernel compute that just produced `data`)
+  // and the bytes touched. Ops running inside a Backward pass are skipped
+  // here — they are accounted to the owning op's backward column instead.
+  if (obs::TraceEnabled() && !obs::InBackwardPass()) {
+    int64_t bytes = static_cast<int64_t>(data.size()) * 4;
+    for (const auto& input : inputs) {
+      if (input.Defined()) bytes += input.Numel() * 4;
+    }
+    obs::RecordForwardOp(op_name, bytes);
+  }
   STHSL_CHECK_EQ(NumelOf(shape), static_cast<int64_t>(data.size()))
       << "MakeResult size mismatch in op " << op_name;
   if (DebugChecksEnabled()) {

@@ -29,6 +29,10 @@ struct TensorImpl {
 
   /// Non-null for non-leaf tensors: records how to backpropagate.
   std::shared_ptr<GradNode> grad_fn;
+
+  /// Reports the value buffer to the observability layer's tensor-memory
+  /// accounting (no-op when tracing is disabled).
+  ~TensorImpl();
 };
 
 /// One node of the reverse-mode autograd tape. `backward` receives the

@@ -1,11 +1,13 @@
 #include "util/logging.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
 
 namespace sthsl {
 namespace {
-
-LogLevel g_min_level = LogLevel::kInfo;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,6 +23,25 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+LogLevel LevelFromEnv() {
+  const char* value = std::getenv("STHSL_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return LogLevel::kInfo;
+  std::string lowered;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lowered += static_cast<char>(
+        *p >= 'A' && *p <= 'Z' ? *p - 'A' + 'a' : *p);
+  }
+  if (lowered == "debug" || lowered == "0") return LogLevel::kDebug;
+  if (lowered == "info" || lowered == "1") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning" || lowered == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lowered == "error" || lowered == "3") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel g_min_level = LevelFromEnv();
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level = level; }
@@ -28,9 +49,36 @@ LogLevel GetLogLevel() { return g_min_level; }
 
 namespace internal_logging {
 
+std::string FormatTimestampIso8601() {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  using std::chrono::system_clock;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+  return buffer;
+}
+
 void Emit(LogLevel level, const std::string& message) {
   if (level < g_min_level) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  // Assemble the full line first, then write it atomically under one lock,
+  // so trainer/bench output from concurrent threads stays readable.
+  std::string line = FormatTimestampIso8601();
+  line += " [";
+  line += LevelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  static std::mutex* mu = new std::mutex();
+  std::lock_guard<std::mutex> lock(*mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal_logging

@@ -8,13 +8,20 @@ namespace sthsl {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum level that is actually emitted (default: kInfo).
+/// Sets the global minimum level that is actually emitted. The initial
+/// value comes from the STHSL_LOG_LEVEL environment variable ("debug",
+/// "info", "warn"/"warning", "error", or 0-3); default kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal_logging {
 
+/// Emits one complete line: "<ISO-8601 UTC> [LEVEL] message\n", written with
+/// a single locked write so lines from concurrent threads never interleave.
 void Emit(LogLevel level, const std::string& message);
+
+/// Current UTC wall time as "YYYY-MM-DDTHH:MM:SS.mmmZ".
+std::string FormatTimestampIso8601();
 
 /// Accumulates one log line and emits it on destruction.
 class LogMessage {

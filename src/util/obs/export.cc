@@ -1,0 +1,229 @@
+#include "util/obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <sstream>
+#include <vector>
+
+#include "util/obs/metrics.h"
+#include "util/obs/obs.h"
+
+namespace sthsl::obs {
+namespace {
+
+// Ops sorted by total (forward + backward) time, heaviest first.
+std::vector<OpProfile> SortedOps() {
+  std::vector<OpProfile> ops = OpProfiles();
+  std::sort(ops.begin(), ops.end(), [](const OpProfile& a,
+                                       const OpProfile& b) {
+    return a.forward_us + a.backward_us > b.forward_us + b.backward_us;
+  });
+  return ops;
+}
+
+std::vector<ScopeProfile> SortedScopes() {
+  std::vector<ScopeProfile> scopes = ScopeProfiles();
+  std::sort(scopes.begin(), scopes.end(),
+            [](const ScopeProfile& a, const ScopeProfile& b) {
+              return a.total_us > b.total_us;
+            });
+  return scopes;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintObsSummary(std::FILE* out) {
+  const std::vector<OpProfile> ops = SortedOps();
+  if (!ops.empty()) {
+    std::fprintf(out, "[sthsl-obs] per-op profile (self time)\n");
+    std::fprintf(out, "  %-24s %9s %12s %9s %12s %10s\n", "op", "calls",
+                 "fwd_ms", "bwd_calls", "bwd_ms", "MB");
+    double total_fwd = 0.0;
+    double total_bwd = 0.0;
+    const size_t shown = std::min<size_t>(ops.size(), 20);
+    for (const OpProfile& op : ops) {
+      total_fwd += op.forward_us;
+      total_bwd += op.backward_us;
+    }
+    for (size_t i = 0; i < shown; ++i) {
+      const OpProfile& op = ops[i];
+      std::fprintf(out, "  %-24s %9" PRId64 " %12.3f %9" PRId64
+                   " %12.3f %10.2f\n",
+                   op.name.c_str(), op.forward_calls, op.forward_us / 1e3,
+                   op.backward_calls, op.backward_us / 1e3,
+                   static_cast<double>(op.bytes_touched) / 1e6);
+    }
+    if (ops.size() > shown) {
+      std::fprintf(out, "  ... %zu more op(s)\n", ops.size() - shown);
+    }
+    std::fprintf(out, "  %-24s %9s %12.3f %9s %12.3f\n", "total", "",
+                 total_fwd / 1e3, "", total_bwd / 1e3);
+  }
+
+  const std::vector<ScopeProfile> scopes = SortedScopes();
+  if (!scopes.empty()) {
+    std::fprintf(out, "[sthsl-obs] phase scopes\n");
+    std::fprintf(out, "  %-28s %9s %12s\n", "scope", "calls", "total_ms");
+    for (const ScopeProfile& scope : scopes) {
+      std::fprintf(out, "  %-28s %9" PRId64 " %12.3f\n", scope.name.c_str(),
+                   scope.calls, scope.total_us / 1e3);
+    }
+  }
+
+  auto& registry = MetricsRegistry::Global();
+  const auto counters = registry.Counters();
+  const auto gauges = registry.Gauges();
+  const auto histograms = registry.Histograms();
+  if (!counters.empty() || !gauges.empty() || !histograms.empty()) {
+    std::fprintf(out, "[sthsl-obs] metrics\n");
+    for (const auto& [name, value] : counters) {
+      std::fprintf(out, "  counter %-26s %" PRId64 "\n", name.c_str(), value);
+    }
+    for (const auto& [name, value] : gauges) {
+      std::fprintf(out, "  gauge   %-26s %.6g\n", name.c_str(), value);
+    }
+    for (const auto& [name, snapshot] : histograms) {
+      std::fprintf(out,
+                   "  hist    %-26s count=%" PRId64
+                   " mean=%.6g p50=%.6g p95=%.6g max=%.6g\n",
+                   name.c_str(), snapshot.count, snapshot.mean, snapshot.p50,
+                   snapshot.p95, snapshot.max);
+    }
+  }
+  const int64_t peak = PeakTensorBytes();
+  if (peak > 0) {
+    std::fprintf(out, "[sthsl-obs] tensor memory: peak %.2f MB, live %.2f MB\n",
+                 static_cast<double>(peak) / 1e6,
+                 static_cast<double>(LiveTensorBytes()) / 1e6);
+  }
+  const int64_t dropped = DroppedTraceEvents();
+  if (dropped > 0) {
+    std::fprintf(out,
+                 "[sthsl-obs] WARNING: %" PRId64 " trace event(s) dropped "
+                 "(raise STHSL_TRACE_MAX_EVENTS)\n",
+                 dropped);
+  }
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace output " + path);
+  }
+  std::fprintf(file,
+               "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":"
+               "\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,"
+               "\"args\":{\"name\":\"sthsl\"}}");
+  for (const TraceEvent& event : TraceEvents()) {
+    std::fprintf(file,
+                 ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
+                 JsonEscape(event.name).c_str(), event.category, event.ts_us,
+                 event.dur_us, event.tid);
+  }
+  std::fprintf(file, "]}\n");
+  if (std::fclose(file) != 0) {
+    return Status::IoError("error writing trace output " + path);
+  }
+  return Status::Ok();
+}
+
+std::string MetricsJson() {
+  std::ostringstream json;
+  json.precision(10);
+  auto& registry = MetricsRegistry::Global();
+
+  json << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.Counters()) {
+    json << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  json << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.Gauges()) {
+    json << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  json << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : registry.Histograms()) {
+    json << (first ? "" : ",") << "\"" << JsonEscape(name)
+         << "\":{\"count\":" << s.count << ",\"min\":" << s.min
+         << ",\"max\":" << s.max << ",\"mean\":" << s.mean
+         << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95 << "}";
+    first = false;
+  }
+  json << "},\"ops\":[";
+  first = true;
+  for (const OpProfile& op : SortedOps()) {
+    json << (first ? "" : ",") << "{\"name\":\"" << JsonEscape(op.name)
+         << "\",\"forward_calls\":" << op.forward_calls
+         << ",\"forward_us\":" << op.forward_us
+         << ",\"backward_calls\":" << op.backward_calls
+         << ",\"backward_us\":" << op.backward_us
+         << ",\"bytes_touched\":" << op.bytes_touched << "}";
+    first = false;
+  }
+  json << "],\"scopes\":[";
+  first = true;
+  for (const ScopeProfile& scope : SortedScopes()) {
+    json << (first ? "" : ",") << "{\"name\":\"" << JsonEscape(scope.name)
+         << "\",\"calls\":" << scope.calls
+         << ",\"total_us\":" << scope.total_us << "}";
+    first = false;
+  }
+  json << "],\"tensor_memory\":{\"live_bytes\":" << LiveTensorBytes()
+       << ",\"peak_bytes\":" << PeakTensorBytes()
+       << "},\"dropped_trace_events\":" << DroppedTraceEvents() << "}";
+  return json.str();
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open metrics output " + path);
+  }
+  const std::string json = MetricsJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  if (std::fclose(file) != 0) {
+    return Status::IoError("error writing metrics output " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sthsl::obs

@@ -1,0 +1,35 @@
+#ifndef STHSL_UTIL_OBS_EXPORT_H_
+#define STHSL_UTIL_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace sthsl::obs {
+
+/// Exporters over the profiler + metrics registry state. All three run
+/// automatically at process exit when tracing is enabled (see obs.h); they
+/// can also be invoked directly (benches, tests).
+
+/// Human-readable summary: top ops by total time, phase scopes, metrics.
+void PrintObsSummary(std::FILE* out);
+
+/// Writes the event buffer in Chrome trace-event JSON ("ph":"X" complete
+/// events, microsecond timestamps) loadable by chrome://tracing / Perfetto.
+Status WriteChromeTrace(const std::string& path);
+
+/// Writes the metrics registry + per-op/scope profiles + tensor-memory
+/// accounting as one JSON object (consumed by the bench harness and the
+/// sthsl_trace_check tool).
+Status WriteMetricsJson(const std::string& path);
+
+/// The JSON body WriteMetricsJson writes, for in-process consumers.
+std::string MetricsJson();
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace sthsl::obs
+
+#endif  // STHSL_UTIL_OBS_EXPORT_H_

@@ -1,0 +1,107 @@
+#include "util/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sthsl::obs {
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(value);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  Snapshot snapshot;
+  if (sorted.empty()) return snapshot;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  snapshot.count = static_cast<int64_t>(n);
+  snapshot.min = sorted.front();
+  snapshot.max = sorted.back();
+  snapshot.mean =
+      std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+      static_cast<double>(n);
+  // Nearest-rank percentile: the smallest sample with at least p*n samples
+  // at or below it.
+  auto percentile = [&](double p) {
+    const size_t rank =
+        static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+    return sorted[std::min(n - 1, rank > 0 ? rank - 1 : 0)];
+  };
+  snapshot.p50 = percentile(0.50);
+  snapshot.p95 = percentile(0.95);
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->GetSnapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace sthsl::obs

@@ -1,0 +1,92 @@
+#ifndef STHSL_UTIL_OBS_METRICS_H_
+#define STHSL_UTIL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sthsl::obs {
+
+/// Training/runtime metrics registry: named counters, gauges and histograms
+/// the trainer publishes into (epoch loss, grad norms, samples/sec, peak
+/// tensor bytes) and the exporters read out of. The registry itself is
+/// always functional — callers gate publishing on TraceEnabled() so the
+/// disabled path stays free.
+///
+/// Instrument references returned by Get* are stable for the life of the
+/// registry (until Reset, which is test-only).
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_.fetch_add(delta); }
+  int64_t Value() const { return value_.load(); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value metric.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value); }
+  double Value() const { return value_.load(); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample-accumulating metric with nearest-rank percentiles. Samples are
+/// kept exactly (epoch-scale cardinality); Record is O(1), Snapshot sorts.
+class Histogram {
+ public:
+  struct Snapshot {
+    int64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+
+  void Record(double value);
+  Snapshot GetSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (leaked singleton, safe at exit time).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Name-sorted snapshots for the exporters.
+  std::vector<std::pair<std::string, int64_t>> Counters() const;
+  std::vector<std::pair<std::string, double>> Gauges() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> Histograms() const;
+
+  /// Drops every instrument. Invalidates references returned by Get*; only
+  /// for test isolation.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sthsl::obs
+
+#endif  // STHSL_UTIL_OBS_METRICS_H_

@@ -1,0 +1,158 @@
+#ifndef STHSL_UTIL_OBS_OBS_H_
+#define STHSL_UTIL_OBS_OBS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sthsl::obs {
+
+/// Observability layer: a per-op autograd profiler, scoped phase regions and
+/// a Chrome-trace event buffer, shared by the trainer, the benchmarks and
+/// `sthsl_cli`.
+///
+/// Enablement: set the STHSL_TRACE environment variable to anything but "0"
+/// before process start, or call SetTraceEnabled(true) at runtime. When
+/// disabled, every hook costs a single predictable branch and records no
+/// state. When enabled at process exit, a human-readable summary is printed
+/// to stderr, and the trace / metrics JSON files configured via
+/// STHSL_TRACE_OUT / STHSL_METRICS_OUT (or SetTraceOutPath /
+/// SetMetricsOutPath) are written.
+
+namespace obs_internal {
+/// Backing flag; read through TraceEnabled(). Initialized from the
+/// STHSL_TRACE environment variable during static initialization.
+extern bool g_enabled;
+}  // namespace obs_internal
+
+/// True when the observability layer is recording.
+inline bool TraceEnabled() { return obs_internal::g_enabled; }
+
+/// Enables or disables recording at runtime, overriding the environment
+/// variable. Returns the previous state (for scoped save/restore in tests).
+bool SetTraceEnabled(bool enabled);
+
+/// Configures the Chrome-trace / metrics JSON files written at process exit.
+/// Also settable via the STHSL_TRACE_OUT / STHSL_METRICS_OUT env variables.
+void SetTraceOutPath(std::string path);
+void SetMetricsOutPath(std::string path);
+
+// -- Per-op profiler ----------------------------------------------------------
+
+/// Aggregated cost of one autograd op name. Forward time is self time: the
+/// wall time between the previous op boundary on the thread and the op's
+/// MakeResult call, so per-epoch totals are additive and account for the
+/// kernel compute plus the glue between consecutive ops. Backward time
+/// brackets the op's backward function inside Tensor::Backward.
+struct OpProfile {
+  std::string name;
+  int64_t forward_calls = 0;
+  double forward_us = 0.0;
+  int64_t backward_calls = 0;
+  double backward_us = 0.0;
+  /// Bytes read + written per forward call: 4 * (output numel + input numels).
+  int64_t bytes_touched = 0;
+};
+
+/// Aggregated cost of one named scoped region (model phase).
+struct ScopeProfile {
+  std::string name;
+  int64_t calls = 0;
+  double total_us = 0.0;
+};
+
+/// One slice of the Chrome trace ("ph":"X" complete event).
+struct TraceEvent {
+  std::string name;
+  const char* category;  // "op", "backward" or "phase"
+  double ts_us;          // start, microseconds since the process trace epoch
+  double dur_us;
+  int tid;
+};
+
+/// Microseconds since the process trace epoch (monotonic clock).
+double TraceNowMicros();
+
+/// Called by MakeResult once per forward op: attributes the wall time since
+/// the previous op boundary on this thread and appends a trace event.
+void RecordForwardOp(const std::string& name, int64_t bytes_touched);
+
+/// Called by Tensor::Backward around each GradNode's backward function;
+/// `start_us` is the TraceNowMicros() reading taken before the call.
+void RecordBackwardOp(const std::string& name, double start_us);
+
+/// True while a Backward pass runs on this thread. MakeResult skips forward
+/// attribution then, so ops executed inside backward functions are not
+/// double-counted against the forward column.
+bool InBackwardPass();
+
+/// RAII marker for a Backward pass (no-op when tracing is disabled).
+class BackwardPassGuard {
+ public:
+  BackwardPassGuard();
+  ~BackwardPassGuard();
+
+  BackwardPassGuard(const BackwardPassGuard&) = delete;
+  BackwardPassGuard& operator=(const BackwardPassGuard&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// Opens / closes a named region on this thread's scope stack. Regions must
+/// nest; prefer the STHSL_TRACE_SCOPE macro. `name` must outlive the scope
+/// (string literals).
+void BeginScope(const char* name);
+void EndScope();
+
+/// RAII scoped region; records nothing when tracing is disabled.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) : active_(TraceEnabled()) {
+    if (active_) BeginScope(name);
+  }
+  ~TraceScope() {
+    if (active_) EndScope();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+// -- Tensor memory accounting -------------------------------------------------
+
+/// Called by Tensor::FromImpl / ~TensorImpl when tracing is enabled; tracks
+/// live float-buffer bytes and their high-water mark. Gradient buffers are
+/// not counted (the estimate is the value-buffer footprint).
+void OnTensorAlloc(int64_t bytes);
+void OnTensorFree(int64_t bytes);
+int64_t LiveTensorBytes();
+int64_t PeakTensorBytes();
+
+// -- Snapshots ----------------------------------------------------------------
+
+std::vector<OpProfile> OpProfiles();
+std::vector<ScopeProfile> ScopeProfiles();
+std::vector<TraceEvent> TraceEvents();
+/// Events discarded after the buffer cap (STHSL_TRACE_MAX_EVENTS, default
+/// 2^20) was reached; reported so truncation is never silent.
+int64_t DroppedTraceEvents();
+
+/// Clears every recorded profile, scope, trace event and the tensor-memory
+/// peak, and resets this thread's op boundary (tests and per-model benches).
+void ResetProfiler();
+
+}  // namespace sthsl::obs
+
+#define STHSL_OBS_CONCAT_INNER(a, b) a##b
+#define STHSL_OBS_CONCAT(a, b) STHSL_OBS_CONCAT_INNER(a, b)
+
+/// Marks the enclosing block as a named trace region (model phase):
+///   STHSL_TRACE_SCOPE("sthsl/hypergraph_prop");
+#define STHSL_TRACE_SCOPE(name) \
+  ::sthsl::obs::TraceScope STHSL_OBS_CONCAT(sthsl_trace_scope_, __LINE__)(name)
+
+#endif  // STHSL_UTIL_OBS_OBS_H_

@@ -19,6 +19,10 @@ class Timer {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Microsecond granularity for sub-millisecond work (per-op profiling;
+  /// ElapsedMillis rounds such intervals to ~0 in fixed-precision output).
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace sthsl {
 namespace {
@@ -138,6 +140,44 @@ TEST(RngTest, ForkIndependentStreams) {
   Rng child = parent.Fork();
   // Streams should differ from each other and from the parent's continuation.
   EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(LoggingTest, Iso8601TimestampFormat) {
+  const std::string ts = internal_logging::FormatTimestampIso8601();
+  // "YYYY-MM-DDTHH:MM:SS.mmmZ" — 24 characters with fixed separators.
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts[23], 'Z');
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u, 17u,
+                   18u, 20u, 21u, 22u}) {
+    EXPECT_TRUE(ts[i] >= '0' && ts[i] <= '9') << "position " << i;
+  }
+}
+
+TEST(LoggingTest, LogLevelRoundTrip) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(saved);
+}
+
+TEST(TimerTest, ElapsedUnitsAgree) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  const double seconds = timer.ElapsedSeconds();
+  const double micros = timer.ElapsedMicros();
+  EXPECT_GT(micros, 0.0);
+  // Micros read slightly later than seconds; both measure the same clock.
+  EXPECT_GE(micros, seconds * 1e6);
+  EXPECT_LT(micros, (seconds + 0.1) * 1e6);
 }
 
 TEST(CsvTest, SplitPlainLine) {

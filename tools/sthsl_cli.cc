@@ -25,6 +25,7 @@
 #include "data/generator.h"
 #include "data/stats.h"
 #include "nn/serialization.h"
+#include "util/obs/obs.h"
 
 using namespace sthsl;
 
@@ -53,7 +54,11 @@ int Usage() {
       "           [--hyper N] [--kernel N] [--window N] [--steps N]\n"
       "  evaluate --data FILE --ckpt FILE [architecture flags]\n"
       "  forecast --data FILE --ckpt FILE [--horizon N] [arch flags]\n"
-      "  stats    --data FILE\n");
+      "  stats    --data FILE\n"
+      "observability (any command):\n"
+      "  --trace-out FILE    enable tracing, write chrome://tracing JSON\n"
+      "  --metrics-out FILE  enable tracing, write metrics/op-profile JSON\n"
+      "  (STHSL_TRACE=1 in the environment enables the same machinery)\n");
   return 2;
 }
 
@@ -258,6 +263,15 @@ int main(int argc, char** argv) {
   for (int i = 2; i + 1 < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
     args.options[argv[i] + 2] = argv[i + 1];
+  }
+  // Observability flags: either one switches tracing on; the files are
+  // written by the process-exit flush.
+  const std::string trace_out = args.Get("trace-out", "");
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::SetTraceEnabled(true);
+    if (!trace_out.empty()) obs::SetTraceOutPath(trace_out);
+    if (!metrics_out.empty()) obs::SetMetricsOutPath(metrics_out);
   }
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "train") return CmdTrain(args);

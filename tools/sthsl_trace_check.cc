@@ -1,0 +1,406 @@
+// sthsl_trace_check — standalone validator for the observability layer's
+// JSON artifacts, used by CI after a traced training run:
+//
+//   sthsl_trace_check trace   trace.json     # chrome://tracing event file
+//   sthsl_trace_check metrics metrics.json   # metrics/op-profile dump
+//   sthsl_trace_check --selftest             # embedded good/bad samples
+//
+// Exits 0 when the file parses as JSON and has the expected structure,
+// 1 otherwise. Deliberately dependency-free (no sthsl lib, no third-party
+// JSON): a tiny recursive-descent parser is enough to assert structure.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// -- Minimal JSON value + parser ----------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  bool Is(Kind k) const { return kind == k; }
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : input_(input) {}
+
+  // Parses the whole input as one JSON value; returns false (with `error`
+  // set) on any syntax problem or trailing garbage.
+  bool Parse(JsonValue* out, std::string* error) {
+    error_ = error;
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != input_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      std::ostringstream stream;
+      stream << message << " at byte " << pos_;
+      *error_ = stream.str();
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Fail("unexpected end of input");
+    const char c = input_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->text);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    static const struct {
+      const char* word;
+      JsonValue::Kind kind;
+      bool boolean;
+    } kKeywords[] = {{"true", JsonValue::Kind::kBool, true},
+                     {"false", JsonValue::Kind::kBool, false},
+                     {"null", JsonValue::Kind::kNull, false}};
+    for (const auto& keyword : kKeywords) {
+      const size_t len = std::strlen(keyword.word);
+      if (input_.compare(pos_, len, keyword.word) == 0) {
+        out->kind = keyword.kind;
+        out->boolean = keyword.boolean;
+        pos_ += len;
+        return true;
+      }
+    }
+    return Fail("invalid keyword");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E' || input_[pos_] == '+' ||
+            input_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    char* end = nullptr;
+    const std::string token = input_.substr(start, pos_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= input_.size()) break;
+      const char esc = input_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return Fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(input_[pos_ + i]))) {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // Structure checking only: the code point value is not needed.
+          *out += '?';
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return Fail("expected '['");
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!ParseValue(&item)) return false;
+      out->items.push_back(std::move(item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return Fail("expected '{'");
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members[key] = std::move(value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  std::string* error_ = nullptr;
+};
+
+// -- Structure validators -----------------------------------------------------
+
+bool Complain(const std::string& what) {
+  std::fprintf(stderr, "sthsl_trace_check: %s\n", what.c_str());
+  return false;
+}
+
+/// Chrome trace-event format: root object with a "traceEvents" array; every
+/// event is an object carrying name/ph (strings), ts/pid/tid (numbers), and
+/// a numeric dur for "X" complete events.
+bool ValidateTrace(const JsonValue& root) {
+  if (!root.Is(JsonValue::Kind::kObject)) {
+    return Complain("trace root is not an object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->Is(JsonValue::Kind::kArray)) {
+    return Complain("missing \"traceEvents\" array");
+  }
+  size_t index = 0;
+  for (const JsonValue& event : events->items) {
+    ++index;
+    if (!event.Is(JsonValue::Kind::kObject)) {
+      return Complain("traceEvents[" + std::to_string(index - 1) +
+                      "] is not an object");
+    }
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* pid = event.Find("pid");
+    const JsonValue* tid = event.Find("tid");
+    if (name == nullptr || !name->Is(JsonValue::Kind::kString) ||
+        ph == nullptr || !ph->Is(JsonValue::Kind::kString) ||
+        ts == nullptr || !ts->Is(JsonValue::Kind::kNumber) ||
+        pid == nullptr || !pid->Is(JsonValue::Kind::kNumber) ||
+        tid == nullptr || !tid->Is(JsonValue::Kind::kNumber)) {
+      return Complain("event " + std::to_string(index - 1) +
+                      " lacks name/ph strings or ts/pid/tid numbers");
+    }
+    if (ph->text == "X") {
+      const JsonValue* dur = event.Find("dur");
+      if (dur == nullptr || !dur->Is(JsonValue::Kind::kNumber) ||
+          dur->number < 0.0) {
+        return Complain("complete event " + std::to_string(index - 1) +
+                        " ('" + name->text + "') lacks a non-negative dur");
+      }
+    }
+  }
+  std::printf("trace OK: %zu events\n", events->items.size());
+  return true;
+}
+
+/// Metrics dump: root object with counters/gauges/histograms objects plus an
+/// ops array of per-op profiles.
+bool ValidateMetrics(const JsonValue& root) {
+  if (!root.Is(JsonValue::Kind::kObject)) {
+    return Complain("metrics root is not an object");
+  }
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    const JsonValue* section = root.Find(key);
+    if (section == nullptr || !section->Is(JsonValue::Kind::kObject)) {
+      return Complain(std::string("missing \"") + key + "\" object");
+    }
+  }
+  const JsonValue* ops = root.Find("ops");
+  if (ops == nullptr || !ops->Is(JsonValue::Kind::kArray)) {
+    return Complain("missing \"ops\" array");
+  }
+  for (const JsonValue& op : ops->items) {
+    if (!op.Is(JsonValue::Kind::kObject) || op.Find("name") == nullptr ||
+        op.Find("forward_calls") == nullptr) {
+      return Complain("ops entry lacks name/forward_calls");
+    }
+  }
+  std::printf("metrics OK: %zu ops, %zu counters, %zu histograms\n",
+              ops->items.size(), root.Find("counters")->members.size(),
+              root.Find("histograms")->members.size());
+  return true;
+}
+
+int CheckFile(const std::string& mode, const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    Complain("cannot open " + path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    Complain(path + ": " + error);
+    return 1;
+  }
+  if (mode == "trace") return ValidateTrace(root) ? 0 : 1;
+  if (mode == "metrics") return ValidateMetrics(root) ? 0 : 1;
+  Complain("unknown mode '" + mode + "'");
+  return 1;
+}
+
+// -- Self-test ----------------------------------------------------------------
+
+int SelfTest() {
+  struct Sample {
+    const char* label;
+    const char* mode;  // "trace", "metrics" or "parse"
+    const char* json;
+    bool expect_ok;
+  };
+  const Sample kSamples[] = {
+      {"good trace", "trace",
+       "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,"
+       "\"args\":{\"name\":\"sthsl\"}},"
+       "{\"name\":\"matmul\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":1.5,"
+       "\"dur\":2.25,\"pid\":1,\"tid\":1}]}",
+       true},
+      {"empty trace", "trace", "{\"traceEvents\":[]}", true},
+      {"trace missing events key", "trace", "{\"events\":[]}", false},
+      {"X event without dur", "trace",
+       "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"pid\":1,"
+       "\"tid\":1}]}",
+       false},
+      {"event with non-string name", "trace",
+       "{\"traceEvents\":[{\"name\":3,\"ph\":\"X\",\"ts\":0,\"dur\":1,"
+       "\"pid\":1,\"tid\":1}]}",
+       false},
+      {"good metrics", "metrics",
+       "{\"counters\":{\"train/epochs\":3},\"gauges\":{},"
+       "\"histograms\":{\"loss\":{\"count\":2,\"min\":0.1,\"max\":0.4,"
+       "\"mean\":0.25,\"p50\":0.1,\"p95\":0.4}},"
+       "\"ops\":[{\"name\":\"matmul\",\"forward_calls\":10,"
+       "\"forward_us\":12.5,\"backward_calls\":10,\"backward_us\":20.0,"
+       "\"bytes_touched\":4096}],"
+       "\"scopes\":[],\"tensor_memory\":{\"live_bytes\":0,\"peak_bytes\":9}}",
+       true},
+      {"metrics missing histograms", "metrics",
+       "{\"counters\":{},\"gauges\":{},\"ops\":[]}", false},
+      {"unbalanced braces", "parse", "{\"a\":[1,2}", false},
+      {"trailing garbage", "parse", "{} {}", false},
+      {"escapes and nesting", "parse",
+       "{\"s\":\"line\\nbreak \\u0041 \\\"q\\\"\",\"deep\":[[[{\"x\":null},"
+       "true,false,-1.5e-3]]]}",
+       true},
+  };
+
+  int failures = 0;
+  for (const Sample& sample : kSamples) {
+    JsonValue root;
+    std::string error;
+    bool ok = JsonParser(sample.json).Parse(&root, &error);
+    if (ok && std::strcmp(sample.mode, "trace") == 0) {
+      ok = ValidateTrace(root);
+    } else if (ok && std::strcmp(sample.mode, "metrics") == 0) {
+      ok = ValidateMetrics(root);
+    }
+    if (ok != sample.expect_ok) {
+      std::fprintf(stderr, "SELFTEST FAIL: %s (expected %s, got %s%s%s)\n",
+                   sample.label, sample.expect_ok ? "ok" : "reject",
+                   ok ? "ok" : "reject", error.empty() ? "" : ": ",
+                   error.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("selftest OK: %zu samples\n",
+                sizeof(kSamples) / sizeof(kSamples[0]));
+    return 0;
+  }
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sthsl_trace_check trace <file>\n"
+               "       sthsl_trace_check metrics <file>\n"
+               "       sthsl_trace_check --selftest\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0) return SelfTest();
+  if (argc != 3) return Usage();
+  return CheckFile(argv[1], argv[2]);
+}
