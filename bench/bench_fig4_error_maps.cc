@@ -102,6 +102,7 @@ void RunCity(const char* title, const CityBenchmark& city) {
 void Run() {
   std::printf("Figure 4 reproduction: prediction-error visualization over "
               "the urban grid\n");
+  ConfigureRunLedger("fig4_error_maps");
   RunCity("NYC", MakeNyc());
   RunCity("Chicago", MakeChicago());
   std::printf("\nPaper shape to verify: ST-HSL's map is lighter overall and "

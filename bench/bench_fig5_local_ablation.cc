@@ -31,6 +31,7 @@ void RunCity(const char* title, const CityBenchmark& city) {
 
 void Run() {
   std::printf("Figure 5 reproduction: multi-view local encoder ablation\n");
+  ConfigureRunLedger("fig5_local_ablation");
   RunCity("NYC", MakeNyc());
   RunCity("Chicago", MakeChicago());
   std::printf("\nPaper shape to verify: the full ST-HSL row is the lowest; "

@@ -61,6 +61,7 @@ void RunCity(const char* title, const CityBenchmark& city) {
 void Run() {
   std::printf("Figure 6 reproduction: robustness to region-level data "
               "sparsity\n");
+  ConfigureRunLedger("fig6_sparsity_robustness");
   RunCity("NYC", MakeNyc());
   RunCity("Chicago", MakeChicago());
   std::printf("\nPaper shape to verify: ST-HSL leads in both density groups; "

@@ -38,6 +38,7 @@ void Sweep(const char* knob, const std::vector<int64_t>& values,
 
 void Run() {
   std::printf("Figure 7 reproduction: hyperparameter study on ST-HSL\n");
+  ConfigureRunLedger("fig7_hyperparameters");
   std::printf("(one city per scale; defaults: d=16, H=32 small / 128 full, "
               "kernel=3)\n");
   const CityBenchmark city = MakeNyc();

@@ -52,6 +52,7 @@ double Correlation(const std::vector<double>& a,
 void Run() {
   std::printf("Figure 8 reproduction: hyperedge-region dependency case "
               "study\n");
+  ConfigureRunLedger("fig8_case_study");
   const CityBenchmark city = MakeChicago();  // the paper's case-study city
   const ComparisonConfig config = BenchComparisonConfig();
 

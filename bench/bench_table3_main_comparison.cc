@@ -72,6 +72,7 @@ void RunCity(const char* title, const CityBenchmark& city) {
 void Run() {
   std::printf("Table III reproduction: overall performance comparison "
               "(MAE / MAPE, lower is better)\n");
+  ConfigureRunLedger("table3_main_comparison");
   RunCity("New York City", MakeNyc());
   RunCity("Chicago", MakeChicago());
   std::printf("\nPaper shape to verify: ST-HSL attains the lowest MAE and "

@@ -44,6 +44,7 @@ void RunCity(const char* title, const CityBenchmark& city) {
 void Run() {
   std::printf("Table IV reproduction: ablation of the hypergraph dual-stage "
               "self-supervised learning (MAE, lower is better)\n");
+  ConfigureRunLedger("table4_ssl_ablation");
   RunCity("NYC-Data", MakeNyc());
   RunCity("Chicago-Data", MakeChicago());
   std::printf("\nPaper shape to verify: every ablation raises MAE relative "

@@ -20,6 +20,7 @@
 #include "common.h"
 #include "util/obs/export.h"
 #include "util/obs/obs.h"
+#include "util/obs/run_ledger.h"
 #include "util/timer.h"
 
 namespace sthsl::bench {
@@ -73,6 +74,8 @@ std::string OpsJson(const std::vector<obs::OpProfile>& ops) {
 
 void Run() {
   std::printf("Table V reproduction: per-epoch training time (seconds)\n");
+  ConfigureRunLedger("table5_efficiency");
+  const bool ledgered = obs::RunLedger::Global().Configured();
   ComparisonConfig config = BenchComparisonConfig();
   // A short run suffices to time epochs.
   config.baseline.train.epochs = 3;
@@ -92,8 +95,17 @@ void Run() {
     Timer model_timer;
     auto model_nyc = MakeForecaster(name, config.baseline, config.sthsl);
     const double nyc_seconds = MeanEpochSeconds(*model_nyc, nyc);
+    // When a run ledger collects this bench, close each model's run with
+    // the masked test metrics so the regression gate can compare quality,
+    // not just speed. Costs test-set forward passes, hence opt-in.
+    if (ledgered) {
+      EvaluateForecaster(*model_nyc, nyc.data, nyc.test_start, nyc.test_end);
+    }
     auto model_chi = MakeForecaster(name, config.baseline, config.sthsl);
     const double chi_seconds = MeanEpochSeconds(*model_chi, chi);
+    if (ledgered) {
+      EvaluateForecaster(*model_chi, chi.data, chi.test_start, chi.test_end);
+    }
     const double wall_micros = model_timer.ElapsedMicros();
     PrintTableRow(name, {nyc_seconds, chi_seconds}, 14, 10, 3);
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/obs/run_ledger.h"
+
 namespace sthsl::bench {
 
 Scale GetScale() {
@@ -69,6 +71,13 @@ void MaybeWriteBenchJson(const std::string& name, const std::string& json) {
   std::fputc('\n', f);
   std::fclose(f);
   std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+void ConfigureRunLedger(const std::string& name) {
+  const char* dir = std::getenv("STHSL_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  obs::RunLedger::Global().SetDefaultPath(std::string(dir) + "/LEDGER_" +
+                                          name + ".jsonl");
 }
 
 void PrintTableHeader(const std::vector<std::string>& columns,

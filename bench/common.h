@@ -40,6 +40,13 @@ ComparisonConfig BenchComparisonConfig();
 /// variable is unset.
 void MaybeWriteBenchJson(const std::string& name, const std::string& json);
 
+/// Points the run-ledger default path at
+/// $STHSL_BENCH_JSON_DIR/LEDGER_<name>.jsonl so every training run of the
+/// benchmark appends its config/per-epoch/final records there (see
+/// src/util/obs/run_ledger.h); no-op when the environment variable is
+/// unset. Call once at the top of a model-training benchmark's Run().
+void ConfigureRunLedger(const std::string& name);
+
 /// Formatted table printing: fixed-width columns, 4-decimal floats.
 void PrintTableHeader(const std::vector<std::string>& columns,
                       int first_width = 16, int width = 9);

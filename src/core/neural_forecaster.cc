@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "metrics/metrics.h"
 #include "tensor/ops.h"
@@ -10,9 +12,54 @@
 #include "util/logging.h"
 #include "util/obs/metrics.h"
 #include "util/obs/obs.h"
+#include "util/obs/run_ledger.h"
 #include "util/timer.h"
 
 namespace sthsl {
+namespace {
+
+std::string JsonFloat(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+/// Renders the run-opening ledger record: model, dataset provenance, seeds
+/// and the full TrainConfig (as JSON literals — the obs layer does not know
+/// the core config type).
+obs::RunLedgerHeader MakeLedgerHeader(const std::string& model,
+                                      const CrimeDataset& data,
+                                      int64_t train_end,
+                                      const TrainConfig& config) {
+  obs::RunLedgerHeader header;
+  header.model = model;
+  header.dataset_city = data.city_name();
+  header.dataset_rows = data.rows();
+  header.dataset_cols = data.cols();
+  header.dataset_days = data.num_days();
+  header.dataset_categories = data.num_categories();
+  header.dataset_generator_seed = data.generator_seed();
+  header.train_end = train_end;
+  header.train_seed = config.seed;
+  header.config = {
+      {"window", std::to_string(config.window)},
+      {"epochs", std::to_string(config.epochs)},
+      {"max_steps_per_epoch", std::to_string(config.max_steps_per_epoch)},
+      {"batch_size", std::to_string(config.batch_size)},
+      {"lr", JsonFloat(config.lr)},
+      {"weight_decay", JsonFloat(config.weight_decay)},
+      {"validation_days", std::to_string(config.validation_days)},
+      {"validation_every", std::to_string(config.validation_every)},
+      {"validation_max_days", std::to_string(config.validation_max_days)},
+      {"early_stop_patience", std::to_string(config.early_stop_patience)},
+      {"ema_decay", JsonFloat(config.ema_decay)},
+      {"cosine_lr", config.cosine_lr ? "true" : "false"},
+      {"lr_floor", JsonFloat(config.lr_floor)},
+  };
+  return header;
+}
+
+}  // namespace
 
 Tensor NeuralForecaster::Loss(const Tensor& pred, const Tensor& target) {
   return MseLoss(pred, target);
@@ -31,6 +78,20 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
                                       0.9f, 0.999f, 1e-8f,
                                       train_config_.weight_decay);
   root->SetTraining(true);
+
+  // Run ledger: the per-run path wins over the process default; when both
+  // are empty the run is not ledgered and no statistics are collected.
+  auto& ledger = obs::RunLedger::Global();
+  const std::string ledger_path = !train_config_.run_log.empty()
+                                      ? train_config_.run_log
+                                      : ledger.DefaultPath();
+  const bool ledger_on = !ledger_path.empty();
+  std::vector<std::pair<std::string, Tensor>> named_params;
+  if (ledger_on) {
+    named_params = root->NamedParameters();
+    ledger.BeginRun(MakeLedgerHeader(Name(), data, train_end, train_config_),
+                    ledger_path);
+  }
 
   // Validation split: the last `validation_days` of the training span
   // drive model selection (the paper's protocol).
@@ -58,6 +119,7 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
 
   // Best-on-validation snapshot of all parameter buffers.
   double best_validation = std::numeric_limits<double>::infinity();
+  int64_t best_epoch = 0;
   int64_t checks_without_improvement = 0;
   std::vector<std::vector<float>> best_params;
   // Mutable handles: the EMA swap and best-snapshot restore below rewrite the
@@ -125,6 +187,8 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
     double epoch_loss = 0.0;
     int64_t cursor = 0;
     int64_t epoch_windows = 0;
+    double epoch_grad_norm = 0.0;
+    std::vector<obs::RunLedgerParamStats> epoch_param_stats;
     {
       STHSL_TRACE_SCOPE("train/epoch");
       for (int64_t step = 0; step < steps; ++step) {
@@ -162,18 +226,85 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
                 .GetHistogram("train/grad_norm")
                 .Record(std::sqrt(sq));
           }
+          // Gradient-flow sample for the run ledger, taken at the epoch's
+          // last optimizer step: per-parameter norms and NaN/zero fractions
+          // of the accumulated gradient, and the update-to-weight ratio
+          // measured across the actual optimizer update.
+          const bool sample_grads = ledger_on && step + 1 == steps;
+          std::vector<std::vector<float>> pre_update;
+          if (sample_grads) {
+            epoch_param_stats.clear();
+            epoch_param_stats.reserve(named_params.size());
+            pre_update.reserve(named_params.size());
+            double global_sq = 0.0;
+            for (const auto& [pname, p] : named_params) {
+              obs::RunLedgerParamStats stats;
+              stats.name = pname;
+              stats.numel = p.Numel();
+              const auto& grad = p.Grad();
+              double grad_sq = 0.0;
+              double weight_sq = 0.0;
+              int64_t non_finite = 0;
+              int64_t zeros = 0;
+              for (float g : grad) {
+                if (!std::isfinite(g)) {
+                  ++non_finite;
+                  continue;
+                }
+                if (g == 0.0f) ++zeros;
+                grad_sq += static_cast<double>(g) * static_cast<double>(g);
+              }
+              for (float w : p.Data()) {
+                weight_sq += static_cast<double>(w) * static_cast<double>(w);
+              }
+              stats.grad_norm = std::sqrt(grad_sq);
+              stats.weight_norm = std::sqrt(weight_sq);
+              // An empty gradient buffer means backward never reached this
+              // parameter; report it as all-zero (a dead layer).
+              stats.nan_grad_frac =
+                  grad.empty() ? 0.0
+                               : static_cast<double>(non_finite) /
+                                     static_cast<double>(grad.size());
+              stats.zero_grad_frac =
+                  grad.empty() ? 1.0
+                               : static_cast<double>(zeros) /
+                                     static_cast<double>(grad.size());
+              global_sq += grad_sq;
+              epoch_param_stats.push_back(std::move(stats));
+              pre_update.push_back(p.Data());
+            }
+            epoch_grad_norm = std::sqrt(global_sq);
+          }
           optimizer_->Step();
+          if (sample_grads) {
+            for (size_t i = 0; i < named_params.size(); ++i) {
+              const auto& after = named_params[i].second.Data();
+              const auto& before = pre_update[i];
+              double delta_sq = 0.0;
+              for (size_t j = 0; j < after.size(); ++j) {
+                const double d =
+                    static_cast<double>(after[j]) - static_cast<double>(before[j]);
+                delta_sq += d * d;
+              }
+              epoch_param_stats[i].update_ratio =
+                  std::sqrt(delta_sq) /
+                  (epoch_param_stats[i].weight_norm + 1e-12);
+            }
+          }
           update_ema();
         }
       }
     }
     epoch_seconds_.push_back(timer.ElapsedSeconds());
+    // Mean per-window loss: normalizing by windows (not steps) keeps the
+    // logged value comparable across batch sizes and short final steps.
+    const double mean_loss =
+        epoch_loss / static_cast<double>(std::max<int64_t>(epoch_windows, 1));
     if (obs::TraceEnabled()) {
       auto& registry = obs::MetricsRegistry::Global();
       registry.GetCounter("train/epochs").Add(1);
       registry.GetCounter("train/windows").Add(epoch_windows);
-      registry.GetHistogram("train/epoch_loss")
-          .Record(epoch_loss / static_cast<double>(std::max<int64_t>(steps, 1)));
+      registry.GetHistogram("train/epoch_loss").Record(mean_loss);
       const double secs = epoch_seconds_.back();
       if (secs > 0.0 && epoch_windows > 0) {
         registry.GetHistogram("train/samples_per_sec")
@@ -184,12 +315,18 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
     }
 
     const bool last_epoch = epoch + 1 == train_config_.epochs;
+    bool validated = false;
+    bool improved = false;
+    double val_score = 0.0;
     if (!validation_targets.empty() &&
         (last_epoch || (epoch + 1) % train_config_.validation_every == 0)) {
       swap_with_ema();  // validate the averaged parameters
-      const double score = validate();
-      if (score < best_validation) {
-        best_validation = score;
+      val_score = validate();
+      validated = true;
+      if (val_score < best_validation) {
+        best_validation = val_score;
+        best_epoch = epoch + 1;
+        improved = true;
         best_params.clear();
         for (const auto& p : params) best_params.push_back(p.Data());
         checks_without_improvement = 0;
@@ -199,17 +336,33 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
       swap_with_ema();  // restore the raw iterate for further training
       if (train_config_.verbose) {
         STHSL_LOG(Info) << Name() << " epoch " << epoch + 1 << " loss "
-                        << epoch_loss / std::max<int64_t>(steps, 1)
-                        << " val-mae " << score;
+                        << mean_loss << " val-mae " << val_score;
       }
     } else if (train_config_.verbose) {
       STHSL_LOG(Info) << Name() << " epoch " << epoch + 1 << "/"
-                      << train_config_.epochs << " loss "
-                      << epoch_loss / std::max<int64_t>(steps, 1) << " ("
+                      << train_config_.epochs << " loss " << mean_loss << " ("
                       << epoch_seconds_.back() << "s)";
+    }
+    if (ledger_on) {
+      obs::RunLedgerEpoch record;
+      record.epoch = epoch + 1;
+      record.loss = mean_loss;
+      record.lr = optimizer_->lr();
+      record.epoch_seconds = epoch_seconds_.back();
+      record.windows = epoch_windows;
+      record.grad_norm = epoch_grad_norm;
+      record.peak_tensor_bytes = obs::PeakTensorBytes();
+      record.has_validation = validated;
+      record.validation_mae = val_score;
+      record.best_snapshot = improved;
+      record.params = std::move(epoch_param_stats);
+      ledger.RecordEpoch(record);
     }
     if (train_config_.early_stop_patience > 0 &&
         checks_without_improvement >= train_config_.early_stop_patience) {
+      if (ledger_on) {
+        ledger.RecordEvent("early_stop", epoch + 1, best_validation);
+      }
       break;  // converged: no validation improvement for `patience` checks
     }
   }
@@ -219,8 +372,16 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
     for (size_t i = 0; i < params.size(); ++i) {
       params[i].MutableData() = best_params[i];
     }
+    if (ledger_on) {
+      ledger.RecordEvent("restore_best", best_epoch, best_validation);
+    }
   } else if (ema_decay > 0.0f) {
     swap_with_ema();  // no validation ran: keep the averaged parameters
+    if (ledger_on) {
+      ledger.RecordEvent("ema_final",
+                         static_cast<int64_t>(epoch_seconds_.size()),
+                         std::numeric_limits<double>::quiet_NaN());
+    }
   }
   root->SetTraining(false);
 }

@@ -52,6 +52,10 @@ struct TrainConfig {
   float lr_floor = 0.1f;
   uint64_t seed = 7;
   bool verbose = false;
+  /// Run-ledger output path (JSONL, appended). When empty, the process
+  /// default (STHSL_RUN_LOG / obs::RunLedger::SetDefaultPath) applies; when
+  /// both are empty the run is not ledgered. See src/util/obs/run_ledger.h.
+  std::string run_log;
 };
 
 /// Base class of every neural forecaster: owns the generic windowed

@@ -21,6 +21,13 @@ class CrimeDataset {
                std::vector<std::string> category_names, Tensor counts);
 
   const std::string& city_name() const { return city_name_; }
+
+  /// Seed of the synthetic generator that produced this dataset, recorded
+  /// by GenerateCrimeData for run-ledger provenance; -1 when unknown (CSV
+  /// round-trips do not persist it).
+  int64_t generator_seed() const { return generator_seed_; }
+  void set_generator_seed(int64_t seed) { generator_seed_ = seed; }
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   int64_t num_regions() const { return rows_ * cols_; }
@@ -64,6 +71,7 @@ class CrimeDataset {
 
  private:
   std::string city_name_;
+  int64_t generator_seed_ = -1;
   int64_t rows_ = 0;
   int64_t cols_ = 0;
   std::vector<std::string> category_names_;

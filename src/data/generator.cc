@@ -195,8 +195,10 @@ CrimeDataset GenerateCrimeData(const CrimeGenConfig& config) {
   }
 
   Tensor tensor = Tensor::FromVector({regions, days, cats}, std::move(counts));
-  return CrimeDataset(config.city_name, config.rows, config.cols,
-                      config.category_names, std::move(tensor));
+  CrimeDataset data(config.city_name, config.rows, config.cols,
+                    config.category_names, std::move(tensor));
+  data.set_generator_seed(static_cast<int64_t>(config.seed));
+  return data;
 }
 
 }  // namespace sthsl

@@ -118,9 +118,9 @@ void PrintObsSummary(std::FILE* out) {
     for (const auto& [name, snapshot] : histograms) {
       std::fprintf(out,
                    "  hist    %-26s count=%" PRId64
-                   " mean=%.6g p50=%.6g p95=%.6g max=%.6g\n",
-                   name.c_str(), snapshot.count, snapshot.mean, snapshot.p50,
-                   snapshot.p95, snapshot.max);
+                   " min=%.6g mean=%.6g p50=%.6g p95=%.6g max=%.6g\n",
+                   name.c_str(), snapshot.count, snapshot.min, snapshot.mean,
+                   snapshot.p50, snapshot.p95, snapshot.max);
     }
   }
   const int64_t peak = PeakTensorBytes();

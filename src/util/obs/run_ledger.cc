@@ -1,0 +1,207 @@
+#include "util/obs/run_ledger.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/obs/export.h"
+
+namespace sthsl::obs {
+namespace {
+
+/// Renders a double as a JSON literal; JSON has no NaN/Inf, so non-finite
+/// values become null (the validator and report treat null as "absent").
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+std::string QuotedJson(const std::string& text) {
+  return "\"" + JsonEscape(text) + "\"";
+}
+
+/// Compile-time build description for the header record, so a ledger row
+/// is attributable to the binary that produced it.
+std::string BuildFlags() {
+  std::string flags;
+#ifdef NDEBUG
+  flags += "NDEBUG";
+#else
+  flags += "DEBUG";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  flags += "+asan";
+#endif
+#if defined(__SANITIZE_THREAD__)
+  flags += "+tsan";
+#endif
+  return flags;
+}
+
+}  // namespace
+
+RunLedger& RunLedger::Global() {
+  // Leaked on purpose, like the profiler state: usable from atexit paths.
+  static RunLedger* ledger = [] {
+    auto* instance = new RunLedger();
+    if (const char* path = std::getenv("STHSL_RUN_LOG")) {
+      instance->SetDefaultPath(path);
+    }
+    return instance;
+  }();
+  return *ledger;
+}
+
+void RunLedger::SetDefaultPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_path_ = std::move(path);
+}
+
+std::string RunLedger::DefaultPath() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_path_;
+}
+
+bool RunLedger::Configured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !default_path_.empty();
+}
+
+bool RunLedger::Active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !run_path_.empty();
+}
+
+void RunLedger::AppendLineLocked(const std::string& json) {
+  std::FILE* file = std::fopen(run_path_.c_str(), "a");
+  if (file == nullptr) {
+    std::fprintf(stderr, "[sthsl-obs] cannot append to run ledger %s\n",
+                 run_path_.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
+void RunLedger::BeginRun(const RunLedgerHeader& header,
+                         const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_path_ = path.empty() ? default_path_ : path;
+  run_model_.clear();
+  run_id_ = 0;
+  if (run_path_.empty()) return;
+  run_model_ = header.model;
+  run_id_ = next_run_id_++;
+
+  std::string json = "{\"record\":\"header\",\"schema\":";
+  json += std::to_string(kRunLedgerSchemaVersion);
+  json += ",\"run\":" + std::to_string(run_id_);
+  json += ",\"model\":" + QuotedJson(header.model);
+  json += ",\"dataset\":{\"city\":" + QuotedJson(header.dataset_city);
+  json += ",\"rows\":" + std::to_string(header.dataset_rows);
+  json += ",\"cols\":" + std::to_string(header.dataset_cols);
+  json += ",\"days\":" + std::to_string(header.dataset_days);
+  json += ",\"categories\":" + std::to_string(header.dataset_categories);
+  json += ",\"generator_seed\":" +
+          std::to_string(header.dataset_generator_seed) + "}";
+  json += ",\"train_end\":" + std::to_string(header.train_end);
+  json += ",\"train_seed\":" + std::to_string(header.train_seed);
+  json += ",\"build\":{\"compiler\":" + QuotedJson(__VERSION__);
+  json += ",\"flags\":" + QuotedJson(BuildFlags()) + "}";
+  json += ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : header.config) {
+    if (!first) json += ",";
+    json += QuotedJson(key) + ":" + value;
+    first = false;
+  }
+  json += "}}";
+  AppendLineLocked(json);
+}
+
+void RunLedger::RecordEpoch(const RunLedgerEpoch& epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (run_path_.empty()) return;
+  std::string json = "{\"record\":\"epoch\",\"run\":" + std::to_string(run_id_);
+  json += ",\"epoch\":" + std::to_string(epoch.epoch);
+  json += ",\"loss\":" + JsonNumber(epoch.loss);
+  json += ",\"lr\":" + JsonNumber(epoch.lr);
+  json += ",\"epoch_seconds\":" + JsonNumber(epoch.epoch_seconds);
+  json += ",\"windows\":" + std::to_string(epoch.windows);
+  json += ",\"grad_norm\":" + JsonNumber(epoch.grad_norm);
+  json += ",\"peak_tensor_bytes\":" + std::to_string(epoch.peak_tensor_bytes);
+  if (epoch.has_validation) {
+    json += ",\"validation_mae\":" + JsonNumber(epoch.validation_mae);
+    json += std::string(",\"best_snapshot\":") +
+            (epoch.best_snapshot ? "true" : "false");
+  }
+  json += ",\"params\":[";
+  bool first = true;
+  for (const RunLedgerParamStats& p : epoch.params) {
+    if (!first) json += ",";
+    json += "{\"name\":" + QuotedJson(p.name);
+    json += ",\"numel\":" + std::to_string(p.numel);
+    json += ",\"grad_norm\":" + JsonNumber(p.grad_norm);
+    json += ",\"weight_norm\":" + JsonNumber(p.weight_norm);
+    json += ",\"update_ratio\":" + JsonNumber(p.update_ratio);
+    json += ",\"nan_grad_frac\":" + JsonNumber(p.nan_grad_frac);
+    json += ",\"zero_grad_frac\":" + JsonNumber(p.zero_grad_frac) + "}";
+    first = false;
+  }
+  json += "]}";
+  AppendLineLocked(json);
+}
+
+void RunLedger::RecordEvent(const std::string& kind, int64_t epoch,
+                            double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (run_path_.empty()) return;
+  std::string json = "{\"record\":\"event\",\"run\":" + std::to_string(run_id_);
+  json += ",\"kind\":" + QuotedJson(kind);
+  json += ",\"epoch\":" + std::to_string(epoch);
+  if (std::isfinite(value)) json += ",\"value\":" + JsonNumber(value);
+  json += "}";
+  AppendLineLocked(json);
+}
+
+void RunLedger::RecordFinalEval(const std::string& model,
+                                const std::string& city,
+                                const RunLedgerEval& overall,
+                                const std::vector<RunLedgerEval>& categories) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (run_path_.empty() || model != run_model_) return;
+  auto eval_json = [](const RunLedgerEval& e) {
+    std::string json = "{\"name\":" + QuotedJson(e.name);
+    json += ",\"mae\":" + JsonNumber(e.mae);
+    json += ",\"mape\":" + JsonNumber(e.mape);
+    json += ",\"rmse\":" + JsonNumber(e.rmse);
+    json += ",\"entries\":" + std::to_string(e.entries) + "}";
+    return json;
+  };
+  std::string json = "{\"record\":\"final\",\"run\":" + std::to_string(run_id_);
+  json += ",\"model\":" + QuotedJson(model);
+  json += ",\"city\":" + QuotedJson(city);
+  json += ",\"overall\":" + eval_json(overall);
+  json += ",\"categories\":[";
+  for (size_t i = 0; i < categories.size(); ++i) {
+    if (i > 0) json += ",";
+    json += eval_json(categories[i]);
+  }
+  json += "]}";
+  AppendLineLocked(json);
+  run_path_.clear();
+  run_model_.clear();
+  run_id_ = 0;
+}
+
+void RunLedger::EndRun() {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_path_.clear();
+  run_model_.clear();
+  run_id_ = 0;
+}
+
+}  // namespace sthsl::obs

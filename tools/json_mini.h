@@ -1,0 +1,220 @@
+#ifndef STHSL_TOOLS_JSON_MINI_H_
+#define STHSL_TOOLS_JSON_MINI_H_
+
+// Minimal recursive-descent JSON parser shared by the dependency-free
+// tools (`sthsl_trace_check`, `sthsl_report`). Deliberately not part of the
+// sthsl library: the validators must stay buildable and trustworthy without
+// linking the code they are checking. Structure checking only — \u escapes
+// are not decoded (they parse but map to '?').
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sthsl::tools {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  bool Is(Kind k) const { return kind == k; }
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+  }
+  /// Member lookup constrained to a kind; null when absent or mistyped.
+  const JsonValue* FindOfKind(const std::string& key, Kind k) const {
+    const JsonValue* value = Find(key);
+    return value != nullptr && value->Is(k) ? value : nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : input_(input) {}
+
+  // Parses the whole input as one JSON value; returns false (with `error`
+  // set) on any syntax problem or trailing garbage.
+  bool Parse(JsonValue* out, std::string* error) {
+    error_ = error;
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != input_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      std::ostringstream stream;
+      stream << message << " at byte " << pos_;
+      *error_ = stream.str();
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Fail("unexpected end of input");
+    const char c = input_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->text);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    static const struct {
+      const char* word;
+      JsonValue::Kind kind;
+      bool boolean;
+    } kKeywords[] = {{"true", JsonValue::Kind::kBool, true},
+                     {"false", JsonValue::Kind::kBool, false},
+                     {"null", JsonValue::Kind::kNull, false}};
+    for (const auto& keyword : kKeywords) {
+      const size_t len = std::strlen(keyword.word);
+      if (input_.compare(pos_, len, keyword.word) == 0) {
+        out->kind = keyword.kind;
+        out->boolean = keyword.boolean;
+        pos_ += len;
+        return true;
+      }
+    }
+    return Fail("invalid keyword");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E' || input_[pos_] == '+' ||
+            input_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    char* end = nullptr;
+    const std::string token = input_.substr(start, pos_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= input_.size()) break;
+      const char esc = input_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return Fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(input_[pos_ + i]))) {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // Structure checking only: the code point value is not needed.
+          *out += '?';
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return Fail("expected '['");
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!ParseValue(&item)) return false;
+      out->items.push_back(std::move(item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return Fail("expected '{'");
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members[key] = std::move(value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  std::string* error_ = nullptr;
+};
+
+}  // namespace sthsl::tools
+
+#endif  // STHSL_TOOLS_JSON_MINI_H_

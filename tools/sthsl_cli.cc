@@ -52,13 +52,17 @@ int Usage() {
       "  generate --city nyc|chicago --out FILE [--seed N] [--days N]\n"
       "  train    --data FILE --ckpt FILE [--epochs N] [--dim N]\n"
       "           [--hyper N] [--kernel N] [--window N] [--steps N]\n"
+      "           [--train-seed N] [--run-log FILE]\n"
       "  evaluate --data FILE --ckpt FILE [architecture flags]\n"
       "  forecast --data FILE --ckpt FILE [--horizon N] [arch flags]\n"
       "  stats    --data FILE\n"
       "observability (any command):\n"
       "  --trace-out FILE    enable tracing, write chrome://tracing JSON\n"
       "  --metrics-out FILE  enable tracing, write metrics/op-profile JSON\n"
-      "  (STHSL_TRACE=1 in the environment enables the same machinery)\n");
+      "  (STHSL_TRACE=1 in the environment enables the same machinery)\n"
+      "  --run-log FILE      (train only) append a JSONL run ledger: config,\n"
+      "                      per-epoch loss/grad-flow stats, final metrics\n"
+      "  (STHSL_RUN_LOG=FILE in the environment is the process default)\n");
   return 2;
 }
 
@@ -136,6 +140,10 @@ int CmdTrain(const Args& args) {
   const CrimeDataset& data = data_or.value();
   const int64_t train_end = data.num_days() - data.num_days() / 8;
   SthslConfig config = ConfigFromArgs(args);
+  // Run-ledger output is wired here (not in ConfigFromArgs): evaluate and
+  // forecast also build TrainConfigs for checkpoint materialization, and
+  // those throwaway one-step fits must not be ledgered.
+  config.train.run_log = args.Get("run-log", "");
   SthslForecaster model(config);
   std::printf("training ST-HSL (%lld epochs) on days [0, %lld)...\n",
               static_cast<long long>(config.train.epochs),

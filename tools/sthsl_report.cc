@@ -1,0 +1,533 @@
+// sthsl_report — aggregates run-ledger JSONL files (and optionally bench
+// JSON dumps) into human-readable comparison tables, and gates CI on
+// quality/speed regressions against a committed baseline:
+//
+//   sthsl_report run1.jsonl run2.jsonl              # markdown table
+//   sthsl_report --csv runs/*.jsonl                 # CSV for spreadsheets
+//   sthsl_report --bench BENCH_table5_efficiency.json runs/*.jsonl
+//   sthsl_report --emit-baseline base.json runs/*.jsonl
+//   sthsl_report --gate base.json --tolerance 10 --time-tolerance 100 \
+//                runs/*.jsonl                       # exit 1 on regression
+//   sthsl_report --selftest
+//
+// A run is one header→final span in a ledger (see src/util/obs/run_ledger.h
+// for the writer). The gate compares, per (model, city), the final masked
+// test MAE and the mean epoch wall time against the baseline entry and
+// fails when either exceeds baseline * (1 + tolerance/100). Missing models
+// fail the gate too — a bench that silently stops covering a model must not
+// pass. Dependency-free like sthsl_trace_check: the validators must stay
+// trustworthy without linking the library they check.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_mini.h"
+
+namespace {
+
+using sthsl::tools::JsonParser;
+using sthsl::tools::JsonValue;
+
+constexpr JsonValue::Kind kNum = JsonValue::Kind::kNumber;
+constexpr JsonValue::Kind kStr = JsonValue::Kind::kString;
+constexpr JsonValue::Kind kObj = JsonValue::Kind::kObject;
+constexpr JsonValue::Kind kArr = JsonValue::Kind::kArray;
+
+const double kNan = std::nan("");
+
+bool Complain(const std::string& what) {
+  std::fprintf(stderr, "sthsl_report: %s\n", what.c_str());
+  return false;
+}
+
+/// One header→final span of a ledger file, reduced to the comparison row.
+struct RunSummary {
+  std::string source;  // ledger path (or "<selftest>")
+  std::string model;
+  std::string city;
+  int64_t epochs = 0;
+  double final_loss = kNan;         // loss of the last epoch record
+  double best_val_mae = kNan;       // min validation_mae across epochs
+  double mean_epoch_seconds = kNan;
+  double test_mae = kNan;           // masked test metrics from the final
+  double test_mape = kNan;          // record; NaN until has_final
+  double test_rmse = kNan;
+  bool has_final = false;
+};
+
+/// Per-model row of a BENCH_table5_efficiency.json dump.
+struct BenchModel {
+  std::string name;
+  double nyc_epoch_seconds = kNan;
+  double chi_epoch_seconds = kNan;
+};
+
+double NumberOr(const JsonValue& record, const char* field, double fallback) {
+  const JsonValue* value = record.FindOfKind(field, kNum);
+  return value == nullptr ? fallback : value->number;
+}
+
+std::string StringOr(const JsonValue& record, const char* field,
+                     const std::string& fallback) {
+  const JsonValue* value = record.FindOfKind(field, kStr);
+  return value == nullptr ? fallback : value->text;
+}
+
+// -- Ledger aggregation -------------------------------------------------------
+
+bool ParseLedgerText(const std::string& text, const std::string& source,
+                     std::vector<RunSummary>* out) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  RunSummary current;
+  bool open = false;
+  double epoch_seconds_sum = 0.0;
+  int64_t epoch_seconds_count = 0;
+
+  const auto finish = [&]() {
+    if (!open) return;
+    if (epoch_seconds_count > 0) {
+      current.mean_epoch_seconds =
+          epoch_seconds_sum / static_cast<double>(epoch_seconds_count);
+    }
+    out->push_back(current);
+  };
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue record;
+    std::string error;
+    if (!JsonParser(line).Parse(&record, &error)) {
+      return Complain(source + " line " + std::to_string(line_no) + ": " +
+                      error);
+    }
+    const std::string kind = StringOr(record, "record", "");
+    if (kind == "header") {
+      finish();
+      current = RunSummary();
+      open = true;
+      epoch_seconds_sum = 0.0;
+      epoch_seconds_count = 0;
+      current.source = source;
+      current.model = StringOr(record, "model", "?");
+      const JsonValue* dataset = record.FindOfKind("dataset", kObj);
+      if (dataset != nullptr) {
+        current.city = StringOr(*dataset, "city", "?");
+      }
+    } else if (kind == "epoch" && open) {
+      ++current.epochs;
+      current.final_loss = NumberOr(record, "loss", kNan);
+      const double seconds = NumberOr(record, "epoch_seconds", kNan);
+      if (std::isfinite(seconds)) {
+        epoch_seconds_sum += seconds;
+        ++epoch_seconds_count;
+      }
+      const double val = NumberOr(record, "validation_mae", kNan);
+      if (std::isfinite(val) &&
+          (!std::isfinite(current.best_val_mae) || val < current.best_val_mae)) {
+        current.best_val_mae = val;
+      }
+    } else if (kind == "final" && open) {
+      current.city = StringOr(record, "city", current.city);
+      const JsonValue* overall = record.FindOfKind("overall", kObj);
+      if (overall != nullptr) {
+        current.test_mae = NumberOr(*overall, "mae", kNan);
+        current.test_mape = NumberOr(*overall, "mape", kNan);
+        current.test_rmse = NumberOr(*overall, "rmse", kNan);
+        current.has_final = true;
+      }
+    }
+    // "event" records and orphan lines don't affect the summary.
+  }
+  finish();
+  return true;
+}
+
+bool LoadFile(const std::string& path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) return Complain("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// -- Bench JSON (table5 format) -----------------------------------------------
+
+bool ParseBenchText(const std::string& text, const std::string& source,
+                    std::vector<BenchModel>* out) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    return Complain(source + ": " + error);
+  }
+  const JsonValue* models =
+      root.Is(kObj) ? root.FindOfKind("models", kArr) : nullptr;
+  if (models == nullptr) {
+    return Complain(source + ": missing \"models\" array");
+  }
+  for (const JsonValue& model : models->items) {
+    if (!model.Is(kObj)) continue;
+    BenchModel row;
+    row.name = StringOr(model, "name", "?");
+    row.nyc_epoch_seconds = NumberOr(model, "nyc_epoch_seconds", kNan);
+    row.chi_epoch_seconds = NumberOr(model, "chi_epoch_seconds", kNan);
+    out->push_back(row);
+  }
+  return true;
+}
+
+// -- Rendering ----------------------------------------------------------------
+
+std::string Cell(double value) {
+  if (!std::isfinite(value)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", value);
+  return buf;
+}
+
+void PrintMarkdown(const std::vector<RunSummary>& runs) {
+  std::printf("| model | city | epochs | final loss | best val MAE | "
+              "epoch s | test MAE | test MAPE | test RMSE |\n");
+  std::printf("|---|---|---|---|---|---|---|---|---|\n");
+  for (const RunSummary& run : runs) {
+    std::printf("| %s | %s | %lld | %s | %s | %s | %s | %s | %s |\n",
+                run.model.c_str(), run.city.c_str(),
+                static_cast<long long>(run.epochs),
+                Cell(run.final_loss).c_str(), Cell(run.best_val_mae).c_str(),
+                Cell(run.mean_epoch_seconds).c_str(),
+                Cell(run.test_mae).c_str(), Cell(run.test_mape).c_str(),
+                Cell(run.test_rmse).c_str());
+  }
+}
+
+void PrintCsv(const std::vector<RunSummary>& runs) {
+  std::printf("model,city,epochs,final_loss,best_val_mae,mean_epoch_seconds,"
+              "test_mae,test_mape,test_rmse,source\n");
+  for (const RunSummary& run : runs) {
+    std::printf("%s,%s,%lld,%s,%s,%s,%s,%s,%s,%s\n", run.model.c_str(),
+                run.city.c_str(), static_cast<long long>(run.epochs),
+                Cell(run.final_loss).c_str(), Cell(run.best_val_mae).c_str(),
+                Cell(run.mean_epoch_seconds).c_str(),
+                Cell(run.test_mae).c_str(), Cell(run.test_mape).c_str(),
+                Cell(run.test_rmse).c_str(), run.source.c_str());
+  }
+}
+
+void PrintBench(const std::vector<BenchModel>& bench) {
+  if (bench.empty()) return;
+  std::printf("\n| model | NYC epoch s | CHI epoch s |\n|---|---|---|\n");
+  for (const BenchModel& row : bench) {
+    std::printf("| %s | %s | %s |\n", row.name.c_str(),
+                Cell(row.nyc_epoch_seconds).c_str(),
+                Cell(row.chi_epoch_seconds).c_str());
+  }
+}
+
+// -- Baseline emit / gate -----------------------------------------------------
+
+std::string JsonNumberOrNull(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+/// Gate baselines key on (model, city); MAE comes from the run's final
+/// record, epoch_seconds from the mean over its epoch records.
+std::string RenderBaseline(const std::vector<RunSummary>& runs) {
+  std::string json = "{\"baseline\":\"sthsl_report\",\"schema\":1,"
+                     "\"entries\":[";
+  bool first = true;
+  for (const RunSummary& run : runs) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"model\":\"" + run.model + "\",\"city\":\"" + run.city +
+            "\",\"mae\":" + JsonNumberOrNull(run.test_mae) +
+            ",\"epoch_seconds\":" + JsonNumberOrNull(run.mean_epoch_seconds) +
+            "}";
+  }
+  json += "]}";
+  return json;
+}
+
+/// Returns the number of gate failures (0 = pass). Baselines with null MAE
+/// or epoch_seconds skip that comparison.
+int RunGate(const std::string& baseline_text, const std::string& source,
+            const std::vector<RunSummary>& runs, double tolerance_pct,
+            double time_tolerance_pct) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(baseline_text).Parse(&root, &error)) {
+    Complain(source + ": " + error);
+    return 1;
+  }
+  const JsonValue* entries =
+      root.Is(kObj) ? root.FindOfKind("entries", kArr) : nullptr;
+  if (entries == nullptr) {
+    Complain(source + ": missing \"entries\" array");
+    return 1;
+  }
+  int failures = 0;
+  for (const JsonValue& entry : entries->items) {
+    if (!entry.Is(kObj)) continue;
+    const std::string model = StringOr(entry, "model", "?");
+    const std::string city = StringOr(entry, "city", "?");
+    const double base_mae = NumberOr(entry, "mae", kNan);
+    const double base_seconds = NumberOr(entry, "epoch_seconds", kNan);
+    const RunSummary* match = nullptr;
+    for (const RunSummary& run : runs) {  // last match wins
+      if (run.model == model && run.city == city) match = &run;
+    }
+    if (match == nullptr) {
+      std::printf("GATE FAIL %s/%s: no current run for baseline entry\n",
+                  model.c_str(), city.c_str());
+      ++failures;
+      continue;
+    }
+    if (std::isfinite(base_mae)) {
+      const double limit = base_mae * (1.0 + tolerance_pct / 100.0);
+      if (!std::isfinite(match->test_mae)) {
+        std::printf("GATE FAIL %s/%s: current run has no final test MAE\n",
+                    model.c_str(), city.c_str());
+        ++failures;
+      } else if (match->test_mae > limit) {
+        std::printf("GATE FAIL %s/%s: MAE %.6g > %.6g (baseline %.6g "
+                    "+%.3g%%)\n",
+                    model.c_str(), city.c_str(), match->test_mae, limit,
+                    base_mae, tolerance_pct);
+        ++failures;
+      } else {
+        std::printf("GATE ok   %s/%s: MAE %.6g <= %.6g\n", model.c_str(),
+                    city.c_str(), match->test_mae, limit);
+      }
+    }
+    if (std::isfinite(base_seconds) &&
+        std::isfinite(match->mean_epoch_seconds)) {
+      const double limit = base_seconds * (1.0 + time_tolerance_pct / 100.0);
+      if (match->mean_epoch_seconds > limit) {
+        std::printf("GATE FAIL %s/%s: epoch %.4gs > %.4gs (baseline %.4gs "
+                    "+%.3g%%)\n",
+                    model.c_str(), city.c_str(), match->mean_epoch_seconds,
+                    limit, base_seconds, time_tolerance_pct);
+        ++failures;
+      } else {
+        std::printf("GATE ok   %s/%s: epoch %.4gs <= %.4gs\n", model.c_str(),
+                    city.c_str(), match->mean_epoch_seconds, limit);
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("gate OK: %zu baseline entr%s within tolerance\n",
+                entries->items.size(),
+                entries->items.size() == 1 ? "y" : "ies");
+  }
+  return failures;
+}
+
+// -- Self-test ----------------------------------------------------------------
+
+constexpr const char kSelfTestLedger[] =
+    "{\"record\":\"header\",\"schema\":1,\"run\":1,\"model\":\"STHSL\","
+    "\"dataset\":{\"city\":\"NYC-small\",\"rows\":3,\"cols\":3,\"days\":120,"
+    "\"categories\":4,\"generator_seed\":11},\"train_end\":90,"
+    "\"train_seed\":7,\"config\":{}}\n"
+    "{\"record\":\"epoch\",\"run\":1,\"epoch\":1,\"loss\":2.0,\"lr\":0.005,"
+    "\"epoch_seconds\":0.1,\"windows\":32,\"grad_norm\":3.0,\"params\":[]}\n"
+    "{\"record\":\"epoch\",\"run\":1,\"epoch\":2,\"loss\":1.0,\"lr\":0.004,"
+    "\"epoch_seconds\":0.3,\"windows\":32,\"grad_norm\":2.0,"
+    "\"validation_mae\":0.8,\"best_snapshot\":true,\"params\":[]}\n"
+    "{\"record\":\"event\",\"run\":1,\"kind\":\"restore_best\",\"epoch\":2,"
+    "\"value\":0.8}\n"
+    "{\"record\":\"final\",\"run\":1,\"model\":\"STHSL\",\"city\":"
+    "\"NYC-small\",\"overall\":{\"name\":\"overall\",\"mae\":0.5,"
+    "\"mape\":0.3,\"rmse\":0.9,\"entries\":360},\"categories\":[]}\n";
+
+int SelfTest() {
+  int failures = 0;
+  const auto expect = [&](bool ok, const char* label) {
+    if (!ok) {
+      std::fprintf(stderr, "SELFTEST FAIL: %s\n", label);
+      ++failures;
+    }
+  };
+
+  std::vector<RunSummary> runs;
+  expect(ParseLedgerText(kSelfTestLedger, "<selftest>", &runs),
+         "ledger parses");
+  expect(runs.size() == 1, "one run extracted");
+  if (runs.size() == 1) {
+    const RunSummary& run = runs[0];
+    expect(run.model == "STHSL" && run.city == "NYC-small",
+           "model/city extracted");
+    expect(run.epochs == 2, "epoch count");
+    expect(std::fabs(run.final_loss - 1.0) < 1e-12, "final loss is last epoch");
+    expect(std::fabs(run.best_val_mae - 0.8) < 1e-12, "best validation MAE");
+    expect(std::fabs(run.mean_epoch_seconds - 0.2) < 1e-12,
+           "mean epoch seconds");
+    expect(run.has_final && std::fabs(run.test_mae - 0.5) < 1e-12,
+           "final test MAE");
+  }
+
+  // Baseline round-trip: a gate against a self-emitted baseline passes.
+  const std::string baseline = RenderBaseline(runs);
+  expect(RunGate(baseline, "<selftest>", runs, 10.0, 100.0) == 0,
+         "gate passes against own baseline");
+
+  // Injected 20% MAE regression must fail a 10% gate.
+  std::vector<RunSummary> regressed = runs;
+  if (!regressed.empty()) regressed[0].test_mae *= 1.2;
+  expect(RunGate(baseline, "<selftest>", regressed, 10.0, 100.0) > 0,
+         "gate fails on 20% MAE regression at 10% tolerance");
+  expect(RunGate(baseline, "<selftest>", regressed, 30.0, 100.0) == 0,
+         "gate passes 20% regression at 30% tolerance");
+
+  // A slower run must fail the time gate.
+  std::vector<RunSummary> slower = runs;
+  if (!slower.empty()) slower[0].mean_epoch_seconds *= 3.0;
+  expect(RunGate(baseline, "<selftest>", slower, 10.0, 100.0) > 0,
+         "gate fails on 3x epoch-time regression at 100% tolerance");
+
+  // A missing model must fail the gate.
+  const std::vector<RunSummary> empty;
+  expect(RunGate(baseline, "<selftest>", empty, 10.0, 100.0) > 0,
+         "gate fails when the baseline model has no current run");
+
+  // Bench JSON parsing (table5 format).
+  std::vector<BenchModel> bench;
+  expect(ParseBenchText("{\"bench\":\"table5_efficiency\",\"models\":["
+                        "{\"name\":\"STGCN\",\"nyc_epoch_seconds\":0.5,"
+                        "\"chi_epoch_seconds\":0.4,\"ops\":[]}]}",
+                        "<selftest>", &bench),
+         "bench json parses");
+  expect(bench.size() == 1 && bench[0].name == "STGCN" &&
+             std::fabs(bench[0].nyc_epoch_seconds - 0.5) < 1e-12,
+         "bench model extracted");
+  std::vector<BenchModel> bad_bench;
+  expect(!ParseBenchText("{\"bench\":\"x\"}", "<selftest>", &bad_bench),
+         "bench json without models rejected");
+
+  if (failures == 0) {
+    std::printf("selftest OK\n");
+    return 0;
+  }
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sthsl_report [options] <ledger.jsonl>...\n"
+               "  --csv                  emit CSV instead of markdown\n"
+               "  --bench FILE           include a BENCH_*.json epoch-time "
+               "table (repeatable)\n"
+               "  --emit-baseline FILE   write a gate baseline from the "
+               "aggregated runs\n"
+               "  --gate FILE            compare runs against a baseline; "
+               "exit 1 on regression\n"
+               "  --tolerance P          allowed MAE regression %% "
+               "(default 10)\n"
+               "  --time-tolerance P     allowed epoch-seconds regression %% "
+               "(default 50)\n"
+               "  --selftest             run embedded checks\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  std::vector<std::string> ledger_paths;
+  std::vector<std::string> bench_paths;
+  std::string emit_baseline;
+  std::string gate_path;
+  double tolerance = 10.0;
+  double time_tolerance = 50.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--selftest") return SelfTest();
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--bench") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      bench_paths.push_back(value);
+    } else if (arg == "--emit-baseline") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      emit_baseline = value;
+    } else if (arg == "--gate") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      gate_path = value;
+    } else if (arg == "--tolerance") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      tolerance = std::atof(value);
+    } else if (arg == "--time-tolerance") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      time_tolerance = std::atof(value);
+    } else if (arg.rfind("--", 0) == 0) {
+      Complain("unknown option '" + arg + "'");
+      return Usage();
+    } else {
+      ledger_paths.push_back(arg);
+    }
+  }
+  if (ledger_paths.empty() && bench_paths.empty()) return Usage();
+
+  std::vector<RunSummary> runs;
+  for (const std::string& path : ledger_paths) {
+    std::string text;
+    if (!LoadFile(path, &text)) return 1;
+    if (!ParseLedgerText(text, path, &runs)) return 1;
+  }
+  std::vector<BenchModel> bench;
+  for (const std::string& path : bench_paths) {
+    std::string text;
+    if (!LoadFile(path, &text)) return 1;
+    if (!ParseBenchText(text, path, &bench)) return 1;
+  }
+
+  if (csv) {
+    PrintCsv(runs);
+  } else {
+    PrintMarkdown(runs);
+    PrintBench(bench);
+  }
+
+  if (!emit_baseline.empty()) {
+    std::FILE* file = std::fopen(emit_baseline.c_str(), "w");
+    if (file == nullptr) {
+      Complain("cannot open " + emit_baseline + " for writing");
+      return 1;
+    }
+    const std::string json = RenderBaseline(runs);
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::fprintf(stderr, "sthsl_report: wrote baseline %s (%zu entr%s)\n",
+                 emit_baseline.c_str(), runs.size(),
+                 runs.size() == 1 ? "y" : "ies");
+  }
+
+  if (!gate_path.empty()) {
+    std::string text;
+    if (!LoadFile(gate_path, &text)) return 1;
+    return RunGate(text, gate_path, runs, tolerance, time_tolerance) == 0 ? 0
+                                                                          : 1;
+  }
+  return 0;
+}

@@ -3,218 +3,32 @@
 //
 //   sthsl_trace_check trace   trace.json     # chrome://tracing event file
 //   sthsl_trace_check metrics metrics.json   # metrics/op-profile dump
+//   sthsl_trace_check run-log run.jsonl      # experiment run ledger (JSONL)
 //   sthsl_trace_check --selftest             # embedded good/bad samples
 //
 // Exits 0 when the file parses as JSON and has the expected structure,
 // 1 otherwise. Deliberately dependency-free (no sthsl lib, no third-party
-// JSON): a tiny recursive-descent parser is enough to assert structure.
+// JSON): the tiny recursive-descent parser in json_mini.h is enough to
+// assert structure.
 
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "json_mini.h"
+
 namespace {
 
-// -- Minimal JSON value + parser ----------------------------------------------
+using sthsl::tools::JsonParser;
+using sthsl::tools::JsonValue;
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;
-  std::map<std::string, JsonValue> members;
-
-  bool Is(Kind k) const { return kind == k; }
-  const JsonValue* Find(const std::string& key) const {
-    const auto it = members.find(key);
-    return it == members.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& input) : input_(input) {}
-
-  // Parses the whole input as one JSON value; returns false (with `error`
-  // set) on any syntax problem or trailing garbage.
-  bool Parse(JsonValue* out, std::string* error) {
-    error_ = error;
-    pos_ = 0;
-    if (!ParseValue(out)) return false;
-    SkipSpace();
-    if (pos_ != input_.size()) return Fail("trailing characters after value");
-    return true;
-  }
-
- private:
-  bool Fail(const std::string& message) {
-    if (error_ != nullptr) {
-      std::ostringstream stream;
-      stream << message << " at byte " << pos_;
-      *error_ = stream.str();
-    }
-    return false;
-  }
-
-  void SkipSpace() {
-    while (pos_ < input_.size() &&
-           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char expected) {
-    SkipSpace();
-    if (pos_ < input_.size() && input_[pos_] == expected) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipSpace();
-    if (pos_ >= input_.size()) return Fail("unexpected end of input");
-    const char c = input_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->text);
-    }
-    if (c == 't' || c == 'f') return ParseKeyword(out);
-    if (c == 'n') return ParseKeyword(out);
-    return ParseNumber(out);
-  }
-
-  bool ParseKeyword(JsonValue* out) {
-    static const struct {
-      const char* word;
-      JsonValue::Kind kind;
-      bool boolean;
-    } kKeywords[] = {{"true", JsonValue::Kind::kBool, true},
-                     {"false", JsonValue::Kind::kBool, false},
-                     {"null", JsonValue::Kind::kNull, false}};
-    for (const auto& keyword : kKeywords) {
-      const size_t len = std::strlen(keyword.word);
-      if (input_.compare(pos_, len, keyword.word) == 0) {
-        out->kind = keyword.kind;
-        out->boolean = keyword.boolean;
-        pos_ += len;
-        return true;
-      }
-    }
-    return Fail("invalid keyword");
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const size_t start = pos_;
-    if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
-    while (pos_ < input_.size() &&
-           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
-            input_[pos_] == '.' || input_[pos_] == 'e' ||
-            input_[pos_] == 'E' || input_[pos_] == '+' ||
-            input_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("expected a value");
-    char* end = nullptr;
-    const std::string token = input_.substr(start, pos_ - start);
-    out->number = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return Fail("malformed number");
-    out->kind = JsonValue::Kind::kNumber;
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return Fail("expected '\"'");
-    out->clear();
-    while (pos_ < input_.size()) {
-      const char c = input_[pos_++];
-      if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return Fail("unescaped control character in string");
-      }
-      if (c != '\\') {
-        *out += c;
-        continue;
-      }
-      if (pos_ >= input_.size()) break;
-      const char esc = input_[pos_++];
-      switch (esc) {
-        case '"': *out += '"'; break;
-        case '\\': *out += '\\'; break;
-        case '/': *out += '/'; break;
-        case 'b': *out += '\b'; break;
-        case 'f': *out += '\f'; break;
-        case 'n': *out += '\n'; break;
-        case 'r': *out += '\r'; break;
-        case 't': *out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > input_.size()) return Fail("truncated \\u escape");
-          for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(input_[pos_ + i]))) {
-              return Fail("invalid \\u escape");
-            }
-          }
-          // Structure checking only: the code point value is not needed.
-          *out += '?';
-          pos_ += 4;
-          break;
-        }
-        default:
-          return Fail("invalid escape character");
-      }
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseArray(JsonValue* out) {
-    if (!Consume('[')) return Fail("expected '['");
-    out->kind = JsonValue::Kind::kArray;
-    SkipSpace();
-    if (Consume(']')) return true;
-    while (true) {
-      JsonValue item;
-      if (!ParseValue(&item)) return false;
-      out->items.push_back(std::move(item));
-      if (Consume(',')) continue;
-      if (Consume(']')) return true;
-      return Fail("expected ',' or ']' in array");
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    if (!Consume('{')) return Fail("expected '{'");
-    out->kind = JsonValue::Kind::kObject;
-    SkipSpace();
-    if (Consume('}')) return true;
-    while (true) {
-      SkipSpace();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      if (!Consume(':')) return Fail("expected ':' after object key");
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->members[key] = std::move(value);
-      if (Consume(',')) continue;
-      if (Consume('}')) return true;
-      return Fail("expected ',' or '}' in object");
-    }
-  }
-
-  const std::string& input_;
-  size_t pos_ = 0;
-  std::string* error_ = nullptr;
-};
+constexpr JsonValue::Kind kNum = JsonValue::Kind::kNumber;
+constexpr JsonValue::Kind kStr = JsonValue::Kind::kString;
+constexpr JsonValue::Kind kObj = JsonValue::Kind::kObject;
+constexpr JsonValue::Kind kArr = JsonValue::Kind::kArray;
 
 // -- Structure validators -----------------------------------------------------
 
@@ -227,37 +41,32 @@ bool Complain(const std::string& what) {
 /// event is an object carrying name/ph (strings), ts/pid/tid (numbers), and
 /// a numeric dur for "X" complete events.
 bool ValidateTrace(const JsonValue& root) {
-  if (!root.Is(JsonValue::Kind::kObject)) {
+  if (!root.Is(kObj)) {
     return Complain("trace root is not an object");
   }
   const JsonValue* events = root.Find("traceEvents");
-  if (events == nullptr || !events->Is(JsonValue::Kind::kArray)) {
+  if (events == nullptr || !events->Is(kArr)) {
     return Complain("missing \"traceEvents\" array");
   }
   size_t index = 0;
   for (const JsonValue& event : events->items) {
     ++index;
-    if (!event.Is(JsonValue::Kind::kObject)) {
+    if (!event.Is(kObj)) {
       return Complain("traceEvents[" + std::to_string(index - 1) +
                       "] is not an object");
     }
-    const JsonValue* name = event.Find("name");
-    const JsonValue* ph = event.Find("ph");
-    const JsonValue* ts = event.Find("ts");
-    const JsonValue* pid = event.Find("pid");
-    const JsonValue* tid = event.Find("tid");
-    if (name == nullptr || !name->Is(JsonValue::Kind::kString) ||
-        ph == nullptr || !ph->Is(JsonValue::Kind::kString) ||
-        ts == nullptr || !ts->Is(JsonValue::Kind::kNumber) ||
-        pid == nullptr || !pid->Is(JsonValue::Kind::kNumber) ||
-        tid == nullptr || !tid->Is(JsonValue::Kind::kNumber)) {
+    const JsonValue* name = event.FindOfKind("name", kStr);
+    const JsonValue* ph = event.FindOfKind("ph", kStr);
+    if (name == nullptr || ph == nullptr ||
+        event.FindOfKind("ts", kNum) == nullptr ||
+        event.FindOfKind("pid", kNum) == nullptr ||
+        event.FindOfKind("tid", kNum) == nullptr) {
       return Complain("event " + std::to_string(index - 1) +
                       " lacks name/ph strings or ts/pid/tid numbers");
     }
     if (ph->text == "X") {
-      const JsonValue* dur = event.Find("dur");
-      if (dur == nullptr || !dur->Is(JsonValue::Kind::kNumber) ||
-          dur->number < 0.0) {
+      const JsonValue* dur = event.FindOfKind("dur", kNum);
+      if (dur == nullptr || dur->number < 0.0) {
         return Complain("complete event " + std::to_string(index - 1) +
                         " ('" + name->text + "') lacks a non-negative dur");
       }
@@ -268,23 +77,35 @@ bool ValidateTrace(const JsonValue& root) {
 }
 
 /// Metrics dump: root object with counters/gauges/histograms objects plus an
-/// ops array of per-op profiles.
+/// ops array of per-op profiles. Histogram snapshots must carry the full
+/// count/min/max/mean/p50/p95 summary (all numeric).
 bool ValidateMetrics(const JsonValue& root) {
-  if (!root.Is(JsonValue::Kind::kObject)) {
+  if (!root.Is(kObj)) {
     return Complain("metrics root is not an object");
   }
   for (const char* key : {"counters", "gauges", "histograms"}) {
     const JsonValue* section = root.Find(key);
-    if (section == nullptr || !section->Is(JsonValue::Kind::kObject)) {
+    if (section == nullptr || !section->Is(kObj)) {
       return Complain(std::string("missing \"") + key + "\" object");
     }
   }
+  for (const auto& [name, snapshot] : root.Find("histograms")->members) {
+    if (!snapshot.Is(kObj)) {
+      return Complain("histogram '" + name + "' is not an object");
+    }
+    for (const char* field : {"count", "min", "max", "mean", "p50", "p95"}) {
+      if (snapshot.FindOfKind(field, kNum) == nullptr) {
+        return Complain("histogram '" + name + "' lacks numeric \"" + field +
+                        "\"");
+      }
+    }
+  }
   const JsonValue* ops = root.Find("ops");
-  if (ops == nullptr || !ops->Is(JsonValue::Kind::kArray)) {
+  if (ops == nullptr || !ops->Is(kArr)) {
     return Complain("missing \"ops\" array");
   }
   for (const JsonValue& op : ops->items) {
-    if (!op.Is(JsonValue::Kind::kObject) || op.Find("name") == nullptr ||
+    if (!op.Is(kObj) || op.Find("name") == nullptr ||
         op.Find("forward_calls") == nullptr) {
       return Complain("ops entry lacks name/forward_calls");
     }
@@ -292,6 +113,146 @@ bool ValidateMetrics(const JsonValue& root) {
   std::printf("metrics OK: %zu ops, %zu counters, %zu histograms\n",
               ops->items.size(), root.Find("counters")->members.size(),
               root.Find("histograms")->members.size());
+  return true;
+}
+
+// -- Run-ledger (JSONL) validation --------------------------------------------
+
+/// A numeric field may legitimately be null (non-finite values are rendered
+/// as null by the ledger); everything else must be a number.
+bool NumberOrNull(const JsonValue& record, const char* field) {
+  const JsonValue* value = record.Find(field);
+  return value != nullptr &&
+         (value->Is(kNum) || value->Is(JsonValue::Kind::kNull));
+}
+
+bool ValidateLedgerHeader(const JsonValue& record, const std::string& where) {
+  if (record.FindOfKind("schema", kNum) == nullptr ||
+      record.FindOfKind("run", kNum) == nullptr ||
+      record.FindOfKind("model", kStr) == nullptr ||
+      record.FindOfKind("train_seed", kNum) == nullptr ||
+      record.FindOfKind("config", kObj) == nullptr) {
+    return Complain(where + ": header lacks schema/run/model/train_seed/"
+                    "config");
+  }
+  const JsonValue* dataset = record.FindOfKind("dataset", kObj);
+  if (dataset == nullptr) {
+    return Complain(where + ": header lacks \"dataset\" object");
+  }
+  for (const char* field : {"rows", "cols", "days", "categories"}) {
+    if (dataset->FindOfKind(field, kNum) == nullptr) {
+      return Complain(where + ": header dataset lacks numeric \"" +
+                      std::string(field) + "\"");
+    }
+  }
+  return true;
+}
+
+bool ValidateLedgerEpoch(const JsonValue& record, const std::string& where) {
+  for (const char* field : {"run", "epoch", "epoch_seconds", "windows"}) {
+    if (record.FindOfKind(field, kNum) == nullptr) {
+      return Complain(where + ": epoch record lacks numeric \"" +
+                      std::string(field) + "\"");
+    }
+  }
+  for (const char* field : {"loss", "lr", "grad_norm"}) {
+    if (!NumberOrNull(record, field)) {
+      return Complain(where + ": epoch record lacks \"" + std::string(field) +
+                      "\"");
+    }
+  }
+  const JsonValue* params = record.FindOfKind("params", kArr);
+  if (params == nullptr) {
+    return Complain(where + ": epoch record lacks \"params\" array");
+  }
+  size_t index = 0;
+  for (const JsonValue& param : params->items) {
+    ++index;
+    if (!param.Is(kObj) || param.FindOfKind("name", kStr) == nullptr) {
+      return Complain(where + ": params[" + std::to_string(index - 1) +
+                      "] lacks a string \"name\"");
+    }
+    for (const char* field :
+         {"grad_norm", "update_ratio", "nan_grad_frac", "zero_grad_frac"}) {
+      if (!NumberOrNull(param, field)) {
+        return Complain(where + ": params[" + std::to_string(index - 1) +
+                        "] lacks \"" + std::string(field) + "\"");
+      }
+    }
+  }
+  return true;
+}
+
+bool ValidateLedgerFinal(const JsonValue& record, const std::string& where) {
+  if (record.FindOfKind("model", kStr) == nullptr) {
+    return Complain(where + ": final record lacks string \"model\"");
+  }
+  const JsonValue* overall = record.FindOfKind("overall", kObj);
+  if (overall == nullptr) {
+    return Complain(where + ": final record lacks \"overall\" object");
+  }
+  for (const char* field : {"mae", "mape"}) {
+    if (!NumberOrNull(*overall, field)) {
+      return Complain(where + ": final overall lacks \"" + std::string(field) +
+                      "\"");
+    }
+  }
+  return true;
+}
+
+/// Run ledger: one JSON object per line; records are typed by "record"
+/// (header / epoch / event / final). Epoch, event, and final records must
+/// follow a header for the same file, and at least one header is required.
+bool ValidateRunLog(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  size_t headers = 0;
+  size_t epochs = 0;
+  size_t finals = 0;
+  bool in_run = false;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(line_no);
+    JsonValue record;
+    std::string error;
+    if (!JsonParser(line).Parse(&record, &error)) {
+      return Complain(where + ": " + error);
+    }
+    if (!record.Is(kObj)) {
+      return Complain(where + ": record is not an object");
+    }
+    const JsonValue* kind = record.FindOfKind("record", kStr);
+    if (kind == nullptr) {
+      return Complain(where + ": record lacks a string \"record\" field");
+    }
+    if (kind->text == "header") {
+      if (!ValidateLedgerHeader(record, where)) return false;
+      ++headers;
+      in_run = true;
+    } else if (kind->text == "epoch") {
+      if (!in_run) return Complain(where + ": epoch record before any header");
+      if (!ValidateLedgerEpoch(record, where)) return false;
+      ++epochs;
+    } else if (kind->text == "event") {
+      if (!in_run) return Complain(where + ": event record before any header");
+      if (record.FindOfKind("kind", kStr) == nullptr) {
+        return Complain(where + ": event record lacks string \"kind\"");
+      }
+    } else if (kind->text == "final") {
+      if (!in_run) return Complain(where + ": final record before any header");
+      if (!ValidateLedgerFinal(record, where)) return false;
+      ++finals;
+    } else {
+      return Complain(where + ": unknown record type '" + kind->text + "'");
+    }
+  }
+  if (headers == 0) {
+    return Complain("run log contains no header record");
+  }
+  std::printf("run-log OK: %zu run(s), %zu epoch record(s), %zu final(s)\n",
+              headers, epochs, finals);
   return true;
 }
 
@@ -304,6 +265,8 @@ int CheckFile(const std::string& mode, const std::string& path) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
   const std::string text = buffer.str();
+
+  if (mode == "run-log") return ValidateRunLog(text) ? 0 : 1;
 
   JsonValue root;
   std::string error;
@@ -319,11 +282,30 @@ int CheckFile(const std::string& mode, const std::string& path) {
 
 // -- Self-test ----------------------------------------------------------------
 
+// Ledger sample fragments (kept out of the table for readability).
+constexpr const char kGoodLedgerHeader[] =
+    "{\"record\":\"header\",\"schema\":1,\"run\":1,\"model\":\"STHSL\","
+    "\"dataset\":{\"city\":\"NYC\",\"rows\":3,\"cols\":3,\"days\":120,"
+    "\"categories\":4,\"generator_seed\":11},\"train_end\":90,"
+    "\"train_seed\":7,\"build\":{\"compiler\":\"test\",\"flags\":\"NDEBUG\"},"
+    "\"config\":{\"window\":14,\"lr\":0.005}}";
+constexpr const char kGoodLedgerEpoch[] =
+    "{\"record\":\"epoch\",\"run\":1,\"epoch\":1,\"loss\":1.25,\"lr\":0.005,"
+    "\"epoch_seconds\":0.07,\"windows\":32,\"grad_norm\":3.5,"
+    "\"peak_tensor_bytes\":0,\"validation_mae\":0.9,\"best_snapshot\":true,"
+    "\"params\":[{\"name\":\"head.weight\",\"numel\":36,\"grad_norm\":1.5,"
+    "\"weight_norm\":2.0,\"update_ratio\":0.01,\"nan_grad_frac\":0,"
+    "\"zero_grad_frac\":0.25}]}";
+constexpr const char kGoodLedgerFinal[] =
+    "{\"record\":\"final\",\"run\":1,\"model\":\"STHSL\",\"city\":\"NYC\","
+    "\"overall\":{\"name\":\"overall\",\"mae\":0.43,\"mape\":0.3,"
+    "\"rmse\":0.9,\"entries\":360},\"categories\":[]}";
+
 int SelfTest() {
   struct Sample {
     const char* label;
-    const char* mode;  // "trace", "metrics" or "parse"
-    const char* json;
+    const char* mode;  // "trace", "metrics", "run-log" or "parse"
+    std::string json;
     bool expect_ok;
   };
   const Sample kSamples[] = {
@@ -355,6 +337,45 @@ int SelfTest() {
        true},
       {"metrics missing histograms", "metrics",
        "{\"counters\":{},\"gauges\":{},\"ops\":[]}", false},
+      {"histogram without min/max", "metrics",
+       "{\"counters\":{},\"gauges\":{},"
+       "\"histograms\":{\"loss\":{\"count\":2,\"mean\":0.25,\"p50\":0.1,"
+       "\"p95\":0.4}},\"ops\":[]}",
+       false},
+      {"good run log", "run-log",
+       std::string(kGoodLedgerHeader) + "\n" + kGoodLedgerEpoch + "\n" +
+           "{\"record\":\"event\",\"run\":1,\"kind\":\"early_stop\","
+           "\"epoch\":2,\"value\":0.9}\n" +
+           kGoodLedgerFinal + "\n",
+       true},
+      {"run log with null loss (non-finite)", "run-log",
+       std::string(kGoodLedgerHeader) +
+           "\n{\"record\":\"epoch\",\"run\":1,\"epoch\":1,\"loss\":null,"
+           "\"lr\":0.005,\"epoch_seconds\":0.07,\"windows\":32,"
+           "\"grad_norm\":null,\"peak_tensor_bytes\":0,\"params\":[]}\n",
+       true},
+      {"empty run log", "run-log", "", false},
+      {"run log epoch before header", "run-log",
+       std::string(kGoodLedgerEpoch) + "\n", false},
+      {"run log header missing dataset", "run-log",
+       "{\"record\":\"header\",\"schema\":1,\"run\":1,\"model\":\"m\","
+       "\"train_seed\":7,\"config\":{}}\n",
+       false},
+      {"run log param missing update_ratio", "run-log",
+       std::string(kGoodLedgerHeader) +
+           "\n{\"record\":\"epoch\",\"run\":1,\"epoch\":1,\"loss\":1,"
+           "\"lr\":0.005,\"epoch_seconds\":0.07,\"windows\":32,"
+           "\"grad_norm\":1,\"params\":[{\"name\":\"w\",\"grad_norm\":1,"
+           "\"nan_grad_frac\":0,\"zero_grad_frac\":0}]}\n",
+       false},
+      {"run log final missing overall", "run-log",
+       std::string(kGoodLedgerHeader) +
+           "\n{\"record\":\"final\",\"run\":1,\"model\":\"m\"}\n",
+       false},
+      {"run log unknown record type", "run-log",
+       std::string(kGoodLedgerHeader) + "\n{\"record\":\"bogus\"}\n", false},
+      {"run log broken json line", "run-log",
+       std::string(kGoodLedgerHeader) + "\n{\"record\":\"epoch\",\n", false},
       {"unbalanced braces", "parse", "{\"a\":[1,2}", false},
       {"trailing garbage", "parse", "{} {}", false},
       {"escapes and nesting", "parse",
@@ -365,13 +386,18 @@ int SelfTest() {
 
   int failures = 0;
   for (const Sample& sample : kSamples) {
-    JsonValue root;
+    bool ok = false;
     std::string error;
-    bool ok = JsonParser(sample.json).Parse(&root, &error);
-    if (ok && std::strcmp(sample.mode, "trace") == 0) {
-      ok = ValidateTrace(root);
-    } else if (ok && std::strcmp(sample.mode, "metrics") == 0) {
-      ok = ValidateMetrics(root);
+    if (std::strcmp(sample.mode, "run-log") == 0) {
+      ok = ValidateRunLog(sample.json);
+    } else {
+      JsonValue root;
+      ok = JsonParser(sample.json).Parse(&root, &error);
+      if (ok && std::strcmp(sample.mode, "trace") == 0) {
+        ok = ValidateTrace(root);
+      } else if (ok && std::strcmp(sample.mode, "metrics") == 0) {
+        ok = ValidateMetrics(root);
+      }
     }
     if (ok != sample.expect_ok) {
       std::fprintf(stderr, "SELFTEST FAIL: %s (expected %s, got %s%s%s)\n",
@@ -393,6 +419,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sthsl_trace_check trace <file>\n"
                "       sthsl_trace_check metrics <file>\n"
+               "       sthsl_trace_check run-log <file>\n"
                "       sthsl_trace_check --selftest\n");
   return 2;
 }
@@ -402,5 +429,8 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0) return SelfTest();
   if (argc != 3) return Usage();
-  return CheckFile(argv[1], argv[2]);
+  std::string mode = argv[1];
+  // Accept the flag spelling too (`--run-log FILE` etc.).
+  if (mode.rfind("--", 0) == 0) mode = mode.substr(2);
+  return CheckFile(mode, argv[2]);
 }
