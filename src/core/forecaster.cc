@@ -21,6 +21,14 @@ obs::RunLedgerEval ToLedgerEval(const std::string& name, const EvalResult& r) {
 
 }  // namespace
 
+std::vector<Tensor> Forecaster::PredictWindows(
+    const std::vector<Tensor>& windows) {
+  STHSL_CHECK(false) << Name()
+                     << " does not support raw-window prediction; only "
+                        "models with SupportsWindowPredict() can serve";
+  return {};
+}
+
 CrimeMetrics EvaluateForecaster(Forecaster& model, const CrimeDataset& data,
                                 int64_t test_start, int64_t test_end) {
   STHSL_CHECK(test_start > 0 && test_end <= data.num_days() &&

@@ -29,6 +29,20 @@ class Forecaster {
   /// history of days [0, t).
   virtual Tensor PredictDay(const CrimeDataset& data, int64_t t) = 0;
 
+  /// True when the model can answer PredictWindows, i.e. predict from a raw
+  /// input window without dataset access. Neural forecasters can; classical
+  /// baselines that consume the full history cannot.
+  virtual bool SupportsWindowPredict() const { return false; }
+
+  /// Batched raw-window inference entry point, used by the serving layer:
+  /// each element of `windows` is one (R, W, C) input window and the result
+  /// holds the matching (R, C) non-negative predictions, in order. One call
+  /// amortizes scheduling and dispatch over the whole micro-batch. The base
+  /// implementation aborts; models advertising SupportsWindowPredict()
+  /// override it.
+  virtual std::vector<Tensor> PredictWindows(
+      const std::vector<Tensor>& windows);
+
   /// Wall-clock seconds of each completed training epoch (empty for
   /// non-iterative models). Used by the Table V efficiency study.
   virtual std::vector<double> EpochSeconds() const { return {}; }

@@ -386,6 +386,26 @@ void NeuralForecaster::Fit(const CrimeDataset& data, int64_t train_end) {
   root->SetTraining(false);
 }
 
+std::vector<Tensor> NeuralForecaster::PredictWindows(
+    const std::vector<Tensor>& windows) {
+  STHSL_TRACE_SCOPE("infer/predict_windows");
+  Module* root = RootModule();
+  STHSL_CHECK(root != nullptr)
+      << Name() << ": network not materialized before PredictWindows";
+  root->SetTraining(false);
+  NoGradGuard no_grad;
+  // Raw windows carry no calendar position; calendar-aware models fall back
+  // to their day-agnostic path.
+  current_target_day_ = -1;
+  std::vector<Tensor> predictions;
+  predictions.reserve(windows.size());
+  for (const Tensor& window : windows) {
+    predictions.push_back(
+        ClampMin(Forward(window, /*training=*/false), 0.0f));
+  }
+  return predictions;
+}
+
 Tensor NeuralForecaster::PredictDay(const CrimeDataset& data, int64_t t) {
   STHSL_TRACE_SCOPE("infer/predict_day");
   Module* root = RootModule();

@@ -68,6 +68,12 @@ class NeuralForecaster : public Forecaster {
 
   void Fit(const CrimeDataset& data, int64_t train_end) override;
   Tensor PredictDay(const CrimeDataset& data, int64_t t) override;
+  bool SupportsWindowPredict() const override { return true; }
+  /// Eval-mode forward over each raw (R, W, C) window (no autograd, outputs
+  /// clamped at zero like PredictDay). The network must be materialized
+  /// (Fit, or a bundle loader's explicit materialization) before calling.
+  std::vector<Tensor> PredictWindows(
+      const std::vector<Tensor>& windows) override;
   std::vector<double> EpochSeconds() const override { return epoch_seconds_; }
 
   const TrainConfig& train_config() const { return train_config_; }

@@ -304,6 +304,14 @@ SthslForecaster::SthslForecaster(SthslConfig config, std::string name)
       config_(std::move(config)),
       name_(std::move(name)) {}
 
+void SthslForecaster::MaterializeForInference(int64_t rows, int64_t cols,
+                                              int64_t num_categories,
+                                              float mean, float stddev) {
+  net_ = std::make_unique<SthslNet>(config_, rows, cols, num_categories, mean,
+                                    stddev, rng_);
+  net_->SetTraining(false);
+}
+
 void SthslForecaster::Prepare(const CrimeDataset& data, int64_t train_end) {
   float mean;
   float stddev;

@@ -78,6 +78,15 @@ class SthslNet : public Module {
 
   const SthslConfig& config() const { return config_; }
 
+  /// Z-score normalization moments baked in at construction (Eq. 1).
+  /// Recorded by the serving bundle so a reloaded network normalizes
+  /// bit-identically to the trained one.
+  float mean() const { return mean_; }
+  float stddev() const { return stddev_; }
+  int64_t grid_rows() const { return grid_rows_; }
+  int64_t grid_cols() const { return grid_cols_; }
+  int64_t num_categories() const { return num_categories_; }
+
  private:
   Tensor EmbedWindow(const Tensor& window) const;               // Eq. 1
   Tensor LocalEncode(const Tensor& embeddings, bool training);  // Eq. 2-3
@@ -123,6 +132,17 @@ class SthslForecaster : public NeuralForecaster {
 
   /// The trained network (null before Fit). Exposed for the case study.
   const SthslNet* net() const { return net_.get(); }
+  /// Mutable access for checkpoint/bundle loading into a materialized net.
+  SthslNet* mutable_net() { return net_.get(); }
+
+  /// Materializes the network for inference from explicit grid geometry and
+  /// normalization moments, without a dataset or training step. Used by the
+  /// serving layer's bundle loader (the moments come from the bundle
+  /// manifest, so predictions match the exporting process bit-for-bit once
+  /// the checkpoint is loaded).
+  void MaterializeForInference(int64_t rows, int64_t cols,
+                               int64_t num_categories, float mean,
+                               float stddev);
 
  protected:
   void Prepare(const CrimeDataset& data, int64_t train_end) override;

@@ -29,6 +29,22 @@ bool ReadU64(std::istream& is, uint64_t* value) {
   return true;
 }
 
+std::string ShapeString(const std::vector<int64_t>& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+int64_t NumelOfShape(const std::vector<int64_t>& shape) {
+  int64_t numel = 1;
+  for (int64_t extent : shape) numel *= extent;
+  return numel;
+}
+
 }  // namespace
 
 Status SaveCheckpoint(const Module& module, const std::string& path) {
@@ -146,8 +162,13 @@ Status LoadCheckpoint(Module& module, const std::string& path) {
       return Status::NotFound("checkpoint missing parameter: " + name);
     }
     if (it->second.shape != param.Shape()) {
-      return Status::FailedPrecondition("shape mismatch for parameter " +
-                                        name);
+      return Status::FailedPrecondition(
+          "shape mismatch for parameter '" + name + "': module expects " +
+          ShapeString(param.Shape()) + " (" +
+          std::to_string(NumelOfShape(param.Shape())) +
+          " elements) but checkpoint " + path + " has " +
+          ShapeString(it->second.shape) + " (" +
+          std::to_string(NumelOfShape(it->second.shape)) + " elements)");
     }
     param.MutableData() = it->second.data;
   }

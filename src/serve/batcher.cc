@@ -1,0 +1,124 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sthsl::serve {
+
+MicroBatcher::MicroBatcher(Config config, BatchFn fn)
+    : config_(config), fn_(std::move(fn)) {
+  STHSL_CHECK(config_.max_batch_size >= 1)
+      << "max_batch_size must be >= 1, got " << config_.max_batch_size;
+  STHSL_CHECK(config_.max_wait_us >= 0)
+      << "max_wait_us must be >= 0, got " << config_.max_wait_us;
+  STHSL_CHECK(config_.worker_threads >= 1)
+      << "worker_threads must be >= 1, got " << config_.worker_threads;
+  STHSL_CHECK(fn_ != nullptr) << "MicroBatcher needs a batch function";
+  workers_.reserve(static_cast<size_t>(config_.worker_threads));
+  for (int64_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<Tensor> MicroBatcher::Submit(Tensor window) {
+  Pending pending;
+  pending.input = std::move(window);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Draining: resolve immediately with an undefined tensor instead of
+      // blocking the caller or aborting mid-drain.
+      pending.promise.set_value(Tensor());
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+MicroBatcher::Stats MicroBatcher::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MicroBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // A batch is forming. Wait for it to fill, bounded by the oldest
+    // request's deadline; drain mode flushes whatever is queued right away.
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(config_.max_wait_us);
+    bool timed_out = false;
+    while (!stopping_ && !queue_.empty() &&
+           static_cast<int64_t>(queue_.size()) < config_.max_batch_size) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        timed_out = true;
+        break;
+      }
+    }
+    if (queue_.empty()) continue;  // another worker flushed it first
+
+    const size_t take = std::min<size_t>(
+        queue_.size(), static_cast<size_t>(config_.max_batch_size));
+    std::vector<Tensor> inputs;
+    std::vector<std::promise<Tensor>> promises;
+    inputs.reserve(take);
+    promises.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      inputs.push_back(std::move(queue_.front().input));
+      promises.push_back(std::move(queue_.front().promise));
+      queue_.pop_front();
+    }
+    stats_.batches += 1;
+    stats_.requests += static_cast<int64_t>(take);
+    if (take == static_cast<size_t>(config_.max_batch_size)) {
+      stats_.size_flushes += 1;
+    } else if (stopping_) {
+      stats_.drain_flushes += 1;
+    } else if (timed_out) {
+      stats_.timeout_flushes += 1;
+    } else {
+      // Spurious flush path (e.g. queue shrank under a racing worker):
+      // account it with the timeout bucket — it was time-bounded either way.
+      stats_.timeout_flushes += 1;
+    }
+
+    lock.unlock();
+    std::vector<Tensor> outputs = fn_(inputs);
+    STHSL_CHECK(outputs.size() == inputs.size())
+        << "batch function returned " << outputs.size() << " results for "
+        << inputs.size() << " inputs";
+    for (size_t i = 0; i < take; ++i) {
+      promises[i].set_value(std::move(outputs[i]));
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace sthsl::serve

@@ -1,0 +1,105 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace sthsl::serve {
+
+PredictionCache::PredictionCache(int64_t capacity, int64_t num_shards)
+    : capacity_(std::max<int64_t>(capacity, 0)) {
+  STHSL_CHECK(num_shards >= 1) << "num_shards must be >= 1";
+  if (capacity_ == 0) return;
+  // No more shards than entries, so every shard holds at least one.
+  const int64_t shard_count = std::min(num_shards, capacity_);
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int64_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Split the budget evenly; the first shards absorb the remainder.
+    shard->capacity = capacity_ / shard_count +
+                      (i < capacity_ % shard_count ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::string PredictionCache::KeyOf(const Tensor& window) {
+  const auto& shape = window.Shape();
+  const auto& data = window.Data();
+  std::string key;
+  key.resize(shape.size() * sizeof(int64_t) + data.size() * sizeof(float));
+  size_t offset = 0;
+  if (!shape.empty()) {
+    std::memcpy(key.data(), shape.data(), shape.size() * sizeof(int64_t));
+    offset += shape.size() * sizeof(int64_t);
+  }
+  if (!data.empty()) {
+    std::memcpy(key.data() + offset, data.data(),
+                data.size() * sizeof(float));
+  }
+  return key;
+}
+
+uint64_t PredictionCache::HashKey(const std::string& key) {
+  // FNV-1a, 64-bit.
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+PredictionCache::Shard& PredictionCache::ShardFor(const std::string& key) {
+  return *shards_[HashKey(key) % shards_.size()];
+}
+
+bool PredictionCache::Lookup(const Tensor& window, Tensor* prediction) {
+  if (!enabled()) return false;
+  const std::string key = KeyOf(window);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.misses += 1;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  shard.hits += 1;
+  *prediction = it->second->second;
+  return true;
+}
+
+void PredictionCache::Insert(const Tensor& window, Tensor prediction) {
+  if (!enabled()) return;
+  std::string key = KeyOf(window);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(prediction);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(prediction));
+  shard.index[std::move(key)] = shard.lru.begin();
+  while (static_cast<int64_t>(shard.lru.size()) > shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    shard.evictions += 1;
+  }
+}
+
+PredictionCache::Stats PredictionCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += static_cast<int64_t>(shard->lru.size());
+  }
+  return stats;
+}
+
+}  // namespace sthsl::serve

@@ -1,0 +1,75 @@
+#ifndef STHSL_SERVE_CACHE_H_
+#define STHSL_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sthsl::serve {
+
+/// Sharded LRU prediction cache keyed by the exact bytes of the input
+/// window (shape + float32 payload), so identical requests are answered
+/// without a forward pass. Keys are full-byte compares — the hash only
+/// picks the shard and the bucket, so hash collisions can never serve a
+/// wrong prediction. Capacity 0 disables the cache entirely.
+class PredictionCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+  };
+
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` independently locked shards.
+  explicit PredictionCache(int64_t capacity, int64_t num_shards = 8);
+
+  bool enabled() const { return capacity_ > 0; }
+  int64_t capacity() const { return capacity_; }
+
+  /// True (and `*prediction` set) when `window` is cached; counts a hit or
+  /// a miss either way. Disabled caches always miss without accounting.
+  bool Lookup(const Tensor& window, Tensor* prediction);
+
+  /// Inserts (or refreshes) the prediction for `window`, evicting the
+  /// least-recently-used entry of the shard when it is full.
+  void Insert(const Tensor& window, Tensor prediction);
+
+  Stats GetStats() const;
+
+  /// Exact cache key: shape extents followed by the raw float payload.
+  static std::string KeyOf(const Tensor& window);
+  /// 64-bit FNV-1a over the key bytes (shard selector; exposed for tests).
+  static uint64_t HashKey(const std::string& key);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, Tensor>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, Tensor>>::iterator>
+        index;
+    int64_t capacity = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  int64_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sthsl::serve
+
+#endif  // STHSL_SERVE_CACHE_H_

@@ -1,0 +1,183 @@
+#include "serve/service.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json_mini.h"
+#include "util/obs/metrics.h"
+
+namespace sthsl::serve {
+namespace {
+
+using sthsl::json::JsonQuote;
+using sthsl::json::JsonValue;
+
+std::string FloatText(float value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(value));
+  return buf;
+}
+
+std::string DoubleText(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\": " + JsonQuote(message) + "}";
+  return response;
+}
+
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kInvalidArgument: return 400;
+    case Status::Code::kInternal: return 503;  // engine draining
+    default: return 500;
+  }
+}
+
+}  // namespace
+
+PredictService::PredictService(InferenceEngine* engine) : engine_(engine) {}
+
+void PredictService::Register(HttpServer* server) {
+  server->Route("POST", "/v1/predict",
+                [this](const HttpRequest& r) { return HandlePredict(r); });
+  server->Route("GET", "/healthz",
+                [this](const HttpRequest& r) { return HandleHealth(r); });
+  server->Route("GET", "/metrics",
+                [this](const HttpRequest& r) { return HandleMetrics(r); });
+}
+
+HttpResponse PredictService::HandlePredict(const HttpRequest& request) {
+  JsonValue root;
+  std::string error;
+  if (!sthsl::json::JsonParser(request.body).Parse(&root, &error) ||
+      !root.Is(JsonValue::Kind::kObject)) {
+    return ErrorResponse(400, "request body is not a JSON object: " + error);
+  }
+  const JsonValue* window_json =
+      root.FindOfKind("window", JsonValue::Kind::kArray);
+  if (window_json == nullptr) {
+    return ErrorResponse(400, "missing 'window': flat array of R*W*C counts");
+  }
+
+  const BundleManifest& manifest = engine_->manifest();
+  std::vector<int64_t> shape = manifest.WindowShape();
+  if (const JsonValue* shape_json =
+          root.FindOfKind("shape", JsonValue::Kind::kArray)) {
+    shape.clear();
+    for (const JsonValue& extent : shape_json->items) {
+      // Bound-check before Tensor::FromVector: a hostile extent must come
+      // back as a 400, not abort the process inside the tensor library.
+      if (!extent.Is(JsonValue::Kind::kNumber) || extent.number < 1 ||
+          extent.number > 1e9) {
+        return ErrorResponse(400,
+                             "'shape' must be an array of positive integers");
+      }
+      shape.push_back(static_cast<int64_t>(extent.number));
+    }
+  }
+  int64_t numel = 1;
+  for (int64_t extent : shape) numel *= extent;
+  if (static_cast<int64_t>(window_json->items.size()) != numel ||
+      numel <= 0) {
+    return ErrorResponse(
+        400, "'window' holds " + std::to_string(window_json->items.size()) +
+                 " values but the shape needs " + std::to_string(numel));
+  }
+  std::vector<float> values;
+  values.reserve(window_json->items.size());
+  for (const JsonValue& item : window_json->items) {
+    if (!item.Is(JsonValue::Kind::kNumber)) {
+      return ErrorResponse(400, "'window' must contain only numbers");
+    }
+    values.push_back(static_cast<float>(item.number));
+  }
+
+  Result<InferenceEngine::Prediction> prediction =
+      engine_->Predict(Tensor::FromVector(std::move(shape), std::move(values)));
+  if (!prediction.ok()) {
+    return ErrorResponse(StatusToHttp(prediction.status()),
+                         prediction.status().message());
+  }
+
+  const InferenceEngine::Prediction& p = prediction.value();
+  std::string body = "{\"model\": " + JsonQuote(manifest.model) +
+                     ", \"shape\": [" + std::to_string(p.values.Size(0)) +
+                     ", " + std::to_string(p.values.Size(1)) +
+                     "], \"prediction\": [";
+  const std::vector<float>& data = p.values.Data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    body += (i == 0 ? "" : ", ") + FloatText(data[i]);
+  }
+  body += "], \"cache_hit\": ";
+  body += p.cache_hit ? "true" : "false";
+  body += ", \"latency_us\": " + DoubleText(p.latency_us) + "}";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse PredictService::HandleHealth(const HttpRequest& request) {
+  const BundleManifest& m = engine_->manifest();
+  HttpResponse response;
+  response.body = "{\"status\": \"ok\", \"model\": " + JsonQuote(m.model) +
+                  ", \"city\": " + JsonQuote(m.city) +
+                  ", \"rows\": " + std::to_string(m.rows) +
+                  ", \"cols\": " + std::to_string(m.cols) +
+                  ", \"categories\": " + std::to_string(m.categories) +
+                  ", \"window\": " + std::to_string(m.config.train.window) +
+                  ", \"git_hash\": " + JsonQuote(m.git_hash) + "}";
+  return response;
+}
+
+HttpResponse PredictService::HandleMetrics(const HttpRequest& request) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const PredictionCache::Stats cache = engine_->cache_stats();
+  const MicroBatcher::Stats batcher = engine_->batcher_stats();
+  std::ostringstream body;
+  body << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.Counters()) {
+    body << (first ? "" : ", ") << JsonQuote(name) << ": " << value;
+    first = false;
+  }
+  body << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.Gauges()) {
+    body << (first ? "" : ", ") << JsonQuote(name) << ": "
+         << DoubleText(value);
+    first = false;
+  }
+  body << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, snapshot] : registry.Histograms()) {
+    body << (first ? "" : ", ") << JsonQuote(name) << ": {\"count\": "
+         << snapshot.count << ", \"min\": " << DoubleText(snapshot.min)
+         << ", \"max\": " << DoubleText(snapshot.max)
+         << ", \"mean\": " << DoubleText(snapshot.mean)
+         << ", \"p50\": " << DoubleText(snapshot.p50)
+         << ", \"p95\": " << DoubleText(snapshot.p95) << "}";
+    first = false;
+  }
+  body << "}, \"cache\": {\"hits\": " << cache.hits
+       << ", \"misses\": " << cache.misses
+       << ", \"evictions\": " << cache.evictions
+       << ", \"entries\": " << cache.entries
+       << "}, \"batcher\": {\"batches\": " << batcher.batches
+       << ", \"requests\": " << batcher.requests
+       << ", \"size_flushes\": " << batcher.size_flushes
+       << ", \"timeout_flushes\": " << batcher.timeout_flushes
+       << ", \"drain_flushes\": " << batcher.drain_flushes << "}}";
+  HttpResponse response;
+  response.body = body.str();
+  return response;
+}
+
+}  // namespace sthsl::serve

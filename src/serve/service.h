@@ -1,0 +1,38 @@
+#ifndef STHSL_SERVE_SERVICE_H_
+#define STHSL_SERVE_SERVICE_H_
+
+#include "serve/engine.h"
+#include "serve/http.h"
+
+namespace sthsl::serve {
+
+/// Binds the HTTP endpoint contract to an InferenceEngine:
+///
+///   POST /v1/predict  {"window": [R*W*C floats], "shape": [R, W, C]}
+///                     → {"model", "shape": [R, C], "prediction": [...],
+///                        "cache_hit", "latency_us"}
+///   GET  /healthz     → {"status": "ok", "model", "city", ...}
+///   GET  /metrics     → obs registry counters/gauges/histograms (p50/p95)
+///
+/// Floats are rendered with %.9g, which round-trips float32 exactly — a
+/// client parsing the JSON recovers bit-identical predictions. The handlers
+/// are plain functions of HttpRequest so tests can drive them without
+/// sockets. See docs/serving.md for the full contract.
+class PredictService {
+ public:
+  explicit PredictService(InferenceEngine* engine);
+
+  /// Registers every route on `server`.
+  void Register(HttpServer* server);
+
+  HttpResponse HandlePredict(const HttpRequest& request);
+  HttpResponse HandleHealth(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+
+ private:
+  InferenceEngine* engine_;  // not owned
+};
+
+}  // namespace sthsl::serve
+
+#endif  // STHSL_SERVE_SERVICE_H_

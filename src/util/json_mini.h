@@ -1,13 +1,16 @@
-#ifndef STHSL_TOOLS_JSON_MINI_H_
-#define STHSL_TOOLS_JSON_MINI_H_
+#ifndef STHSL_UTIL_JSON_MINI_H_
+#define STHSL_UTIL_JSON_MINI_H_
 
-// Minimal recursive-descent JSON parser shared by the dependency-free
-// tools (`sthsl_trace_check`, `sthsl_report`). Deliberately not part of the
-// sthsl library: the validators must stay buildable and trustworthy without
-// linking the code they are checking. Structure checking only — \u escapes
-// are not decoded (they parse but map to '?').
+// Minimal header-only JSON toolkit shared by the serving subsystem
+// (`sthsl::serve`) and the dependency-free tools (`sthsl_trace_check`,
+// `sthsl_report`, `sthsl_loadgen`): a recursive-descent parser plus the
+// string-emission helpers every JSON writer in the repo needs. Header-only
+// on purpose: the validators must stay buildable and trustworthy without
+// linking the library they are checking. Structure checking only — \u
+// escapes are not decoded (they parse but map to '?').
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -15,7 +18,43 @@
 #include <string>
 #include <vector>
 
-namespace sthsl::tools {
+namespace sthsl::json {
+
+/// Escapes `text` for embedding inside a JSON string literal: quote and
+/// backslash get their two-character forms, the common control characters
+/// use their shorthand escapes, and every other code point below 0x20 is
+/// emitted as \u00XX (raw control bytes in the output would make the
+/// emitted document unparseable).
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `text` as a complete JSON string literal, quotes included.
+inline std::string JsonQuote(const std::string& text) {
+  return "\"" + JsonEscape(text) + "\"";
+}
 
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -215,6 +254,6 @@ class JsonParser {
   std::string* error_ = nullptr;
 };
 
-}  // namespace sthsl::tools
+}  // namespace sthsl::json
 
-#endif  // STHSL_TOOLS_JSON_MINI_H_
+#endif  // STHSL_UTIL_JSON_MINI_H_

@@ -89,6 +89,31 @@ TEST(SerializationTest, RejectsArchitectureMismatch) {
   std::remove(kPath);
 }
 
+TEST(SerializationTest, ShapeMismatchErrorNamesParameterAndShapes) {
+  Rng rng(13);
+  Linear saved(4, 3, rng);  // weight (4, 3), 12 elements
+  ASSERT_TRUE(SaveCheckpoint(saved, kPath).ok());
+
+  Linear wider(4, 5, rng);  // weight (4, 5), 20 elements
+  Status status = LoadCheckpoint(wider, kPath);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+  // The message must identify the offending parameter and both shapes with
+  // their element counts so an architecture-flag mismatch is diagnosable
+  // from the error alone.
+  EXPECT_NE(status.message().find("weight"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("[4, 5]"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("[4, 3]"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("20 elements"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("12 elements"), std::string::npos)
+      << status.message();
+  std::remove(kPath);
+}
+
 TEST(SerializationTest, RejectsCorruptFile) {
   {
     std::ofstream file(kPath, std::ios::binary);

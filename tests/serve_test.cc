@@ -1,0 +1,490 @@
+// Tests for the sthsl::serve subsystem: micro-batcher flush rules, LRU
+// prediction-cache accounting, HTTP request parsing limits, bundle
+// round-trip, and an end-to-end loopback check that served predictions are
+// bitwise identical to a direct Forecaster call (cold and cached).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "serve/batcher.h"
+#include "serve/bundle.h"
+#include "serve/cache.h"
+#include "serve/engine.h"
+#include "serve/http.h"
+#include "serve/service.h"
+#include "util/json_mini.h"
+
+namespace sthsl::serve {
+namespace {
+
+Tensor MakeWindow(float fill) { return Tensor::Full({2, 3, 4}, fill); }
+
+MicroBatcher::BatchFn EchoBatch() {
+  return [](const std::vector<Tensor>& windows) { return windows; };
+}
+
+TEST(MicroBatcherTest, SizeBoundFlushesFullBatch) {
+  MicroBatcher::Config config;
+  config.max_batch_size = 4;
+  config.max_wait_us = 10'000'000;  // effectively never; size must trigger
+  config.worker_threads = 1;
+  MicroBatcher batcher(config, EchoBatch());
+
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(batcher.Submit(MakeWindow(static_cast<float>(i))));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Tensor result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.Defined());
+    EXPECT_EQ(result.Data()[0], static_cast<float>(i));  // order preserved
+  }
+  const MicroBatcher::Stats stats = batcher.GetStats();
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.size_flushes, 1);
+  EXPECT_EQ(stats.timeout_flushes, 0);
+}
+
+TEST(MicroBatcherTest, WaitBoundFlushesLoneRequest) {
+  MicroBatcher::Config config;
+  config.max_batch_size = 64;  // never reached
+  config.max_wait_us = 5000;
+  config.worker_threads = 1;
+  MicroBatcher batcher(config, EchoBatch());
+
+  Tensor result = batcher.Submit(MakeWindow(7.0f)).get();
+  ASSERT_TRUE(result.Defined());
+  EXPECT_EQ(result.Data()[0], 7.0f);
+  const MicroBatcher::Stats stats = batcher.GetStats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.timeout_flushes, 1);
+  EXPECT_EQ(stats.size_flushes, 0);
+}
+
+TEST(MicroBatcherTest, ShutdownDrainsQueueAndRejectsLateSubmits) {
+  MicroBatcher::Config config;
+  config.max_batch_size = 64;
+  config.max_wait_us = 10'000'000;  // queued work only leaves via the drain
+  config.worker_threads = 2;
+  MicroBatcher batcher(config, EchoBatch());
+
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(batcher.Submit(MakeWindow(static_cast<float>(i))));
+  }
+  batcher.Shutdown();
+  for (int i = 0; i < 3; ++i) {
+    Tensor result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.Defined());  // drained, not dropped
+    EXPECT_EQ(result.Data()[0], static_cast<float>(i));
+  }
+  const MicroBatcher::Stats stats = batcher.GetStats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_GE(stats.drain_flushes, 1);
+
+  // Submitting after shutdown resolves immediately with an undefined Tensor.
+  EXPECT_FALSE(batcher.Submit(MakeWindow(9.0f)).get().Defined());
+  batcher.Shutdown();  // idempotent
+}
+
+TEST(PredictionCacheTest, LruEvictionAndHitAccounting) {
+  PredictionCache cache(/*capacity=*/2, /*num_shards=*/1);
+  const Tensor a = MakeWindow(1.0f);
+  const Tensor b = MakeWindow(2.0f);
+  const Tensor c = MakeWindow(3.0f);
+
+  Tensor out;
+  EXPECT_FALSE(cache.Lookup(a, &out));  // miss
+  cache.Insert(a, Tensor::Full({2, 4}, 10.0f));
+  cache.Insert(b, Tensor::Full({2, 4}, 20.0f));
+  EXPECT_TRUE(cache.Lookup(a, &out));  // hit; also refreshes a to MRU
+  EXPECT_EQ(out.Data()[0], 10.0f);
+
+  cache.Insert(c, Tensor::Full({2, 4}, 30.0f));  // evicts b (LRU), not a
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_FALSE(cache.Lookup(b, &out));
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  EXPECT_EQ(out.Data()[0], 30.0f);
+
+  const PredictionCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+}
+
+TEST(PredictionCacheTest, KeyIsExactBytesNotHash) {
+  // Same shape, different payload → different keys; same payload in a
+  // different shape → different keys too.
+  const Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  const Tensor b = Tensor::FromVector({2, 2}, {1, 2, 3, 5});
+  const Tensor c = Tensor::FromVector({4, 1}, {1, 2, 3, 4});
+  EXPECT_NE(PredictionCache::KeyOf(a), PredictionCache::KeyOf(b));
+  EXPECT_NE(PredictionCache::KeyOf(a), PredictionCache::KeyOf(c));
+  EXPECT_EQ(PredictionCache::KeyOf(a), PredictionCache::KeyOf(a));
+}
+
+TEST(PredictionCacheTest, ZeroCapacityDisablesWithoutAccounting) {
+  PredictionCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  Tensor out;
+  cache.Insert(MakeWindow(1.0f), Tensor::Full({2, 4}, 1.0f));
+  EXPECT_FALSE(cache.Lookup(MakeWindow(1.0f), &out));
+  const PredictionCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.entries, 0);
+}
+
+TEST(HttpParseTest, ParsesCompleteRequestAndReportsConsumed) {
+  const std::string raw =
+      "POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n"
+      "abcdEXTRA";
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(raw, 1 << 20, &request, &consumed),
+            HttpParse::kOk);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/predict");
+  EXPECT_EQ(request.body, "abcd");
+  EXPECT_EQ(request.headers.at("host"), "x");  // names lower-cased
+  EXPECT_EQ(consumed, raw.size() - 5);         // "EXTRA" stays buffered
+}
+
+TEST(HttpParseTest, IncompleteRequestNeedsMore) {
+  HttpRequest request;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest("POST /x HTTP/1.1\r\nContent-Le", 1 << 20,
+                             &request, &consumed),
+            HttpParse::kNeedMore);
+  EXPECT_EQ(ParseHttpRequest(
+                "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 1 << 20,
+                &request, &consumed),
+            HttpParse::kNeedMore);  // body not fully arrived
+}
+
+TEST(HttpParseTest, MalformedRequestsRejected) {
+  HttpRequest request;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest("garbage\r\n\r\n", 1 << 20, &request, &consumed),
+            HttpParse::kBadRequest);
+  EXPECT_EQ(ParseHttpRequest("GET /x SPDY/9\r\n\r\n", 1 << 20, &request,
+                             &consumed),
+            HttpParse::kBadRequest);
+  EXPECT_EQ(ParseHttpRequest(
+                "POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 1 << 20,
+                &request, &consumed),
+            HttpParse::kBadRequest);  // digits only — no strtoull wrap
+  EXPECT_EQ(ParseHttpRequest(
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                1 << 20, &request, &consumed),
+            HttpParse::kBadRequest);  // chunked unsupported
+}
+
+TEST(HttpParseTest, OversizedBodyIsPayloadTooLarge) {
+  HttpRequest request;
+  size_t consumed = 0;
+  // The declared length alone must trigger 413 — before any body bytes
+  // arrive, so a hostile client cannot make the server buffer them.
+  EXPECT_EQ(ParseHttpRequest("POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+                             /*max_body_bytes=*/99, &request, &consumed),
+            HttpParse::kPayloadTooLarge);
+}
+
+TEST(JsonEscapeTest, ControlCharactersEscaped) {
+  EXPECT_EQ(sthsl::json::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(sthsl::json::JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(sthsl::json::JsonEscape(std::string("nul\x01") + "\x1f"),
+            "nul\\u0001\\u001f");
+  EXPECT_EQ(sthsl::json::JsonQuote("x\ny"), "\"x\\ny\"");
+}
+
+// ---------------------------------------------------------------------------
+// Bundle + end-to-end loopback.
+
+struct TempDir {
+  TempDir() : path("/tmp/sthsl_serve_test_bundle") {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+// Tiny trained model: 4x4 grid, 24 days, one abbreviated epoch.
+LoadedBundle TrainAndRoundTripBundle(const std::string& dir) {
+  CrimeGenConfig gen = NycSmallPreset();
+  const double day_scale = 24.0 / static_cast<double>(gen.days);
+  gen.rows = 4;
+  gen.cols = 4;
+  gen.days = 24;
+  gen.seed = 11;
+  for (auto& total : gen.category_totals) total *= day_scale;
+  const CrimeDataset data = GenerateCrimeData(gen);
+
+  SthslConfig config;
+  config.dim = 4;
+  config.num_hyperedges = 8;
+  config.train.window = 7;
+  config.train.epochs = 1;
+  config.train.max_steps_per_epoch = 2;
+  config.train.validation_days = 0;
+  SthslForecaster model(config);
+  model.Fit(data, data.num_days());
+
+  BundleManifest provenance;
+  provenance.city = data.city_name();
+  provenance.category_names = data.category_names();
+  provenance.generator_seed = static_cast<int64_t>(gen.seed);
+  provenance.git_hash = "deadbeef";
+  provenance.tool = "serve_test";
+  EXPECT_TRUE(WriteBundle(model, dir, provenance).ok());
+
+  auto loaded = LoadBundle(dir);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return std::move(loaded).value();
+}
+
+TEST(BundleTest, ManifestRoundTripPreservesIdentity) {
+  TempDir dir;
+  LoadedBundle bundle = TrainAndRoundTripBundle(dir.path);
+  const BundleManifest& m = bundle.manifest;
+  EXPECT_EQ(m.model, "ST-HSL");
+  EXPECT_EQ(m.rows, 4);
+  EXPECT_EQ(m.cols, 4);
+  EXPECT_EQ(m.categories, 4);
+  EXPECT_EQ(m.config.train.window, 7);
+  EXPECT_EQ(m.generator_seed, 11);
+  EXPECT_EQ(m.git_hash, "deadbeef");
+  EXPECT_GT(m.stddev, 0.0f);
+  EXPECT_EQ(m.WindowShape(), (std::vector<int64_t>{16, 7, 4}));
+  ASSERT_EQ(m.category_names.size(), 4u);
+}
+
+TEST(BundleTest, MissingAndCorruptBundlesAreRejected) {
+  EXPECT_FALSE(ReadManifest("/tmp/sthsl_no_such_bundle").ok());
+  TempDir dir;
+  std::filesystem::create_directories(dir.path);
+  std::ofstream(dir.path + "/manifest.json") << "{\"bundle\": \"sthsl\"}";
+  auto result = ReadManifest(dir.path);
+  ASSERT_FALSE(result.ok());
+  // The error names the first missing field instead of a generic failure.
+  EXPECT_NE(result.status().message().find("schema"), std::string::npos)
+      << result.status().message();
+}
+
+// Minimal blocking HTTP client for the loopback test.
+std::string HttpRoundTrip(int port, const std::string& request_text,
+                          int* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  size_t sent = 0;
+  while (sent < request_text.size()) {
+    const ssize_t n =
+        ::send(fd, request_text.data() + sent, request_text.size() - sent, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "send failed";
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[16384];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+    const size_t header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos) continue;
+    const size_t cl = response.find("Content-Length: ");
+    if (cl == std::string::npos) continue;
+    const size_t body_len = std::strtoul(response.c_str() + cl + 16, nullptr, 10);
+    if (response.size() >= header_end + 4 + body_len) break;
+  }
+  ::close(fd);
+  *status = 0;
+  std::sscanf(response.c_str(), "HTTP/1.1 %d", status);
+  const size_t header_end = response.find("\r\n\r\n");
+  return header_end == std::string::npos ? ""
+                                         : response.substr(header_end + 4);
+}
+
+std::string RenderPost(const std::string& target, const std::string& body) {
+  return "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+}
+
+// Extracts the "prediction" array text verbatim — string compare against the
+// server's rendering of the direct result proves bitwise identity, because
+// %.9g is injective on float32.
+std::string PredictionArrayText(const std::string& body) {
+  const size_t start = body.find("\"prediction\": [");
+  EXPECT_NE(start, std::string::npos) << body;
+  const size_t end = body.find(']', start);
+  EXPECT_NE(end, std::string::npos);
+  return body.substr(start, end - start + 1);
+}
+
+std::string RenderFloats(const std::vector<float>& values) {
+  std::string text = "\"prediction\": [";
+  char buf[40];
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(values[i]));
+    text += (i == 0 ? "" : ", ") + std::string(buf);
+  }
+  return text + "]";
+}
+
+TEST(ServeLoopbackTest, EndToEndMatchesDirectPredictBitwise) {
+  TempDir dir;
+  LoadedBundle serving = TrainAndRoundTripBundle(dir.path);
+  LoadedBundle direct = LoadBundle(dir.path).value();  // independent instance
+
+  EngineConfig config;
+  config.batcher.worker_threads = 2;
+  config.batcher.max_wait_us = 500;
+  InferenceEngine engine(std::move(serving), config);
+  PredictService service(&engine);
+  HttpServer server;
+  service.Register(&server);
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  // Build a deterministic window and the direct (ground-truth) prediction.
+  const std::vector<int64_t> shape = engine.manifest().WindowShape();
+  int64_t numel = 1;
+  for (int64_t extent : shape) numel *= extent;
+  std::vector<float> window(static_cast<size_t>(numel));
+  for (size_t i = 0; i < window.size(); ++i) {
+    window[i] = static_cast<float>(i % 5);
+  }
+  const Tensor direct_out =
+      direct.model->PredictWindows({Tensor::FromVector(shape, window)})
+          .front();
+  const std::string expected = RenderFloats(direct_out.Data());
+
+  std::string body = "{\"window\": [";
+  for (size_t i = 0; i < window.size(); ++i) {
+    body += (i == 0 ? "" : ",") + std::to_string(static_cast<int>(window[i]));
+  }
+  body += "]}";
+
+  // Cold request: batched forward path, cache miss.
+  int status = 0;
+  std::string cold =
+      HttpRoundTrip(server.port(), RenderPost("/v1/predict", body), &status);
+  ASSERT_EQ(status, 200) << cold;
+  EXPECT_NE(cold.find("\"cache_hit\": false"), std::string::npos) << cold;
+  EXPECT_EQ(PredictionArrayText(cold), expected);
+
+  // Warm request: identical window must be a cache hit, same exact bytes.
+  std::string warm =
+      HttpRoundTrip(server.port(), RenderPost("/v1/predict", body), &status);
+  ASSERT_EQ(status, 200) << warm;
+  EXPECT_NE(warm.find("\"cache_hit\": true"), std::string::npos) << warm;
+  EXPECT_EQ(PredictionArrayText(warm), expected);
+
+  // Bad inputs come back as client errors, never aborts.
+  std::string bad = HttpRoundTrip(
+      server.port(), RenderPost("/v1/predict", "{\"window\": [1,2]}"),
+      &status);
+  EXPECT_EQ(status, 400) << bad;
+  bad = HttpRoundTrip(server.port(), RenderPost("/v1/predict", "not json"),
+                      &status);
+  EXPECT_EQ(status, 400) << bad;
+  bad = HttpRoundTrip(
+      server.port(),
+      RenderPost("/v1/predict",
+                 "{\"window\": [1], \"shape\": [-3, 9999999999999]}"),
+      &status);
+  EXPECT_EQ(status, 400) << bad;
+
+  // Routing: wrong path → 404, wrong method on a known path → 405.
+  HttpRoundTrip(server.port(), RenderPost("/nope", "{}"), &status);
+  EXPECT_EQ(status, 404);
+  HttpRoundTrip(server.port(),
+                "GET /v1/predict HTTP/1.1\r\nHost: t\r\n"
+                "Connection: close\r\n\r\n",
+                &status);
+  EXPECT_EQ(status, 405);
+
+  // Health and metrics endpoints respond with the bundle identity and the
+  // cache/batcher counters this test just exercised.
+  std::string health = HttpRoundTrip(server.port(),
+                                     "GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                                     "Connection: close\r\n\r\n",
+                                     &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(health.find("\"model\": \"ST-HSL\""), std::string::npos) << health;
+  std::string metrics = HttpRoundTrip(server.port(),
+                                      "GET /metrics HTTP/1.1\r\nHost: t\r\n"
+                                      "Connection: close\r\n\r\n",
+                                      &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(metrics.find("\"cache\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"batcher\""), std::string::npos);
+
+  server.Drain();
+  engine.Shutdown();
+}
+
+TEST(ServeLoopbackTest, ConcurrentRequestsAllAnswered) {
+  TempDir dir;
+  LoadedBundle bundle = TrainAndRoundTripBundle(dir.path);
+  EngineConfig config;
+  config.batcher.max_batch_size = 4;
+  config.batcher.max_wait_us = 1000;
+  config.batcher.worker_threads = 2;
+  config.cache_entries = 0;  // force every request through the batcher
+  InferenceEngine engine(std::move(bundle), config);
+
+  const std::vector<int64_t> shape = engine.manifest().WindowShape();
+  int64_t numel = 1;
+  for (int64_t extent : shape) numel *= extent;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<float> window(static_cast<size_t>(numel),
+                                static_cast<float>(t % 3));
+      for (int i = 0; i < 4; ++i) {
+        auto result = engine.Predict(Tensor::FromVector(shape, window));
+        if (!result.ok() || !result.value().values.Defined()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  const MicroBatcher::Stats stats = engine.batcher_stats();
+  EXPECT_EQ(stats.requests, 32);
+  EXPECT_GT(stats.batches, 0);
+  engine.Shutdown();
+}
+
+}  // namespace
+}  // namespace sthsl::serve

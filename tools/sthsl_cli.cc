@@ -1,16 +1,20 @@
 // sthsl — command-line interface to the library, covering the full
 // lifecycle a downstream user needs without writing C++:
 //
-//   sthsl generate --city nyc --out data.csv [--seed N] [--days N]
-//   sthsl train    --data data.csv --ckpt model.bin [--epochs N] [...]
-//   sthsl evaluate --data data.csv --ckpt model.bin
-//   sthsl forecast --data data.csv --ckpt model.bin [--horizon N]
-//   sthsl stats    --data data.csv
+//   sthsl generate      --city nyc --out data.csv [--seed N] [--days N]
+//   sthsl train         --data data.csv --ckpt model.bin [--epochs N] [...]
+//   sthsl evaluate      --data data.csv --ckpt model.bin
+//   sthsl forecast      --data data.csv --ckpt model.bin [--horizon N]
+//   sthsl export-bundle --data data.csv --ckpt model.bin --out bundle/
+//   sthsl predict       --bundle bundle/ --data data.csv [--day T]
+//   sthsl stats         --data data.csv
 //
-// Checkpoints store only parameters; `train`, `evaluate` and `forecast`
-// must be invoked with the same architecture flags (--dim, --hyper,
-// --kernel, --window) for shapes to line up — mismatches are rejected by
-// the strict checkpoint loader.
+// Checkpoints store only parameters; `train`, `evaluate`, `forecast` and
+// `export-bundle` must be invoked with the same architecture flags (--dim,
+// --hyper, --kernel, --window) for shapes to line up — mismatches are
+// rejected by the strict checkpoint loader. A bundle directory is
+// self-describing (manifest + weights), so `predict` and the sthsl_serve
+// service need no architecture flags at all.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,6 +29,7 @@
 #include "data/generator.h"
 #include "data/stats.h"
 #include "nn/serialization.h"
+#include "serve/bundle.h"
 #include "util/obs/obs.h"
 
 using namespace sthsl;
@@ -55,6 +60,15 @@ int Usage() {
       "           [--train-seed N] [--run-log FILE]\n"
       "  evaluate --data FILE --ckpt FILE [architecture flags]\n"
       "  forecast --data FILE --ckpt FILE [--horizon N] [arch flags]\n"
+      "  export-bundle --data FILE --ckpt FILE --out DIR [arch flags]\n"
+      "           [--gen-seed N]   package the checkpoint as a\n"
+      "           self-describing bundle dir (manifest.json + weights.bin)\n"
+      "           for sthsl_serve / predict; records dataset geometry,\n"
+      "           normalization moments and provenance\n"
+      "  predict  --bundle DIR --data FILE [--day T]\n"
+      "           one-shot offline prediction: feed the --window days\n"
+      "           ending at day T (default: end of file) through the\n"
+      "           bundled model, print per-region/category forecasts\n"
       "  stats    --data FILE\n"
       "observability (any command):\n"
       "  --trace-out FILE    enable tracing, write chrome://tracing JSON\n"
@@ -177,8 +191,7 @@ int CmdEvaluate(const Args& args) {
   const int64_t train_end = data.num_days() - data.num_days() / 8;
   SthslForecaster model =
       MaterializeModel(ConfigFromArgs(args), data, train_end);
-  Status status = LoadCheckpoint(
-      const_cast<SthslNet&>(*model.net()), args.Get("ckpt", ""));
+  Status status = LoadCheckpoint(*model.mutable_net(), args.Get("ckpt", ""));
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -208,8 +221,7 @@ int CmdForecast(const Args& args) {
   const int64_t horizon = args.GetInt("horizon", 7);
   SthslForecaster model =
       MaterializeModel(ConfigFromArgs(args), data, data.num_days());
-  Status status = LoadCheckpoint(
-      const_cast<SthslNet&>(*model.net()), args.Get("ckpt", ""));
+  Status status = LoadCheckpoint(*model.mutable_net(), args.Get("ckpt", ""));
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -232,6 +244,134 @@ int CmdForecast(const Args& args) {
       std::printf("%12.1f", total);
     }
     std::printf("\n");
+  }
+  return 0;
+}
+
+// Runs `git rev-parse HEAD` so bundles record which tree produced them;
+// "unknown" when git (or a repo) is unavailable, e.g. from an installed tree.
+std::string GitHashOrUnknown() {
+  std::string hash;
+  if (FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) hash = buf;
+    pclose(pipe);
+  }
+  while (!hash.empty() && (hash.back() == '\n' || hash.back() == '\r')) {
+    hash.pop_back();
+  }
+  return hash.empty() ? "unknown" : hash;
+}
+
+int CmdExportBundle(const Args& args) {
+  auto data_or = LoadData(args);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out DIR is required\n");
+    return 2;
+  }
+  const CrimeDataset& data = data_or.value();
+  const int64_t train_end = data.num_days() - data.num_days() / 8;
+  SthslForecaster model =
+      MaterializeModel(ConfigFromArgs(args), data, train_end);
+  Status status = LoadCheckpoint(*model.mutable_net(), args.Get("ckpt", ""));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  serve::BundleManifest provenance;
+  provenance.city = data.city_name();
+  provenance.category_names = data.category_names();
+  provenance.generator_seed = args.GetInt("gen-seed", -1);
+  provenance.git_hash = GitHashOrUnknown();
+  provenance.tool = "sthsl_cli export-bundle";
+  status = serve::WriteBundle(model, out, provenance);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "bundle written to %s: model %s, city %s, window %lld, "
+      "grid %lldx%lld, %lld categories\n",
+      out.c_str(), model.Name().c_str(), data.city_name().c_str(),
+      static_cast<long long>(model.train_config().window),
+      static_cast<long long>(data.rows()), static_cast<long long>(data.cols()),
+      static_cast<long long>(data.num_categories()));
+  return 0;
+}
+
+int CmdPredict(const Args& args) {
+  const std::string bundle_dir = args.Get("bundle", "");
+  if (bundle_dir.empty()) {
+    std::fprintf(stderr, "--bundle DIR is required\n");
+    return 2;
+  }
+  auto bundle_or = serve::LoadBundle(bundle_dir);
+  if (!bundle_or.ok()) {
+    std::fprintf(stderr, "%s\n", bundle_or.status().ToString().c_str());
+    return 1;
+  }
+  const serve::BundleManifest& manifest = bundle_or.value().manifest;
+  auto data_or = LoadData(args);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const CrimeDataset& data = data_or.value();
+  if (data.num_regions() != manifest.num_regions() ||
+      data.num_categories() != manifest.categories) {
+    std::fprintf(stderr,
+                 "dataset geometry (%lld regions, %lld categories) does not "
+                 "match bundle %s (%lld regions, %lld categories)\n",
+                 static_cast<long long>(data.num_regions()),
+                 static_cast<long long>(data.num_categories()),
+                 bundle_dir.c_str(),
+                 static_cast<long long>(manifest.num_regions()),
+                 static_cast<long long>(manifest.categories));
+    return 1;
+  }
+  const int64_t window = manifest.config.train.window;
+  const int64_t day = args.GetInt("day", data.num_days());
+  if (day < window || day > data.num_days()) {
+    std::fprintf(stderr,
+                 "--day %lld out of range: need window of %lld days, file "
+                 "has %lld\n",
+                 static_cast<long long>(day), static_cast<long long>(window),
+                 static_cast<long long>(data.num_days()));
+    return 1;
+  }
+
+  Tensor input = data.WindowInput(day, window);
+  std::vector<Tensor> predictions =
+      bundle_or.value().model->PredictWindows({input});
+  const Tensor& prediction = predictions.front();
+
+  std::printf("prediction for day %lld (window [%lld, %lld), model %s):\n",
+              static_cast<long long>(day), static_cast<long long>(day - window),
+              static_cast<long long>(day), manifest.model.c_str());
+  std::printf("%-12s %10s %10s  %s\n", "category", "citywide", "max-cell",
+              "hotspot");
+  for (int64_t c = 0; c < manifest.categories; ++c) {
+    double total = 0.0;
+    double max_value = -1.0;
+    int64_t max_region = 0;
+    for (int64_t r = 0; r < manifest.num_regions(); ++r) {
+      const double value = prediction.At({r, c});
+      total += value;
+      if (value > max_value) {
+        max_value = value;
+        max_region = r;
+      }
+    }
+    std::printf("%-12s %10.2f %10.3f  (%lld, %lld)\n",
+                manifest.category_names[static_cast<size_t>(c)].c_str(), total,
+                max_value, static_cast<long long>(max_region / manifest.cols),
+                static_cast<long long>(max_region % manifest.cols));
   }
   return 0;
 }
@@ -285,6 +425,8 @@ int main(int argc, char** argv) {
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "evaluate") return CmdEvaluate(args);
   if (args.command == "forecast") return CmdForecast(args);
+  if (args.command == "export-bundle") return CmdExportBundle(args);
+  if (args.command == "predict") return CmdPredict(args);
   if (args.command == "stats") return CmdStats(args);
   return Usage();
 }

@@ -27,12 +27,12 @@
 #include <string>
 #include <vector>
 
-#include "json_mini.h"
+#include "util/json_mini.h"
 
 namespace {
 
-using sthsl::tools::JsonParser;
-using sthsl::tools::JsonValue;
+using sthsl::json::JsonParser;
+using sthsl::json::JsonValue;
 
 constexpr JsonValue::Kind kNum = JsonValue::Kind::kNumber;
 constexpr JsonValue::Kind kStr = JsonValue::Kind::kString;
@@ -250,8 +250,9 @@ std::string RenderBaseline(const std::vector<RunSummary>& runs) {
   for (const RunSummary& run : runs) {
     if (!first) json += ",";
     first = false;
-    json += "{\"model\":\"" + run.model + "\",\"city\":\"" + run.city +
-            "\",\"mae\":" + JsonNumberOrNull(run.test_mae) +
+    json += "{\"model\":" + sthsl::json::JsonQuote(run.model) +
+            ",\"city\":" + sthsl::json::JsonQuote(run.city) +
+            ",\"mae\":" + JsonNumberOrNull(run.test_mae) +
             ",\"epoch_seconds\":" + JsonNumberOrNull(run.mean_epoch_seconds) +
             "}";
   }

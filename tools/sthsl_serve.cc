@@ -1,0 +1,150 @@
+// sthsl_serve — long-running crime-prediction inference service.
+//
+//   sthsl_serve --bundle DIR [--host 127.0.0.1] [--port 8080]
+//               [--threads N] [--max-batch N] [--max-wait-us N]
+//               [--cache-entries N] [--cache-shards N]
+//
+// Loads a model bundle written by `sthsl_cli export-bundle` and answers
+//   POST /v1/predict   one (R, W, C) window → (R, C) predicted counts
+//   GET  /healthz      readiness probe with bundle identity
+//   GET  /metrics      serve/* counters + latency/batch-size percentiles
+// until SIGTERM/SIGINT, then drains gracefully: stops accepting, finishes
+// in-flight requests, flushes the micro-batcher, exits 0. Every option can
+// also come from the environment (STHSL_SERVE_PORT etc., flags win).
+// See docs/serving.md for the full endpoint and tuning reference.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/bundle.h"
+#include "serve/engine.h"
+#include "serve/http.h"
+#include "serve/service.h"
+#include "util/logging.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sthsl_serve --bundle DIR [options]\n"
+      "  --host ADDR        bind address (default 127.0.0.1; use 0.0.0.0\n"
+      "                     only behind a trusted proxy)\n"
+      "  --port N           TCP port; 0 picks an ephemeral port (default "
+      "8080)\n"
+      "  --threads N        inference worker threads (default 2)\n"
+      "  --max-batch N      micro-batch size bound (default 8)\n"
+      "  --max-wait-us N    micro-batch wait bound in µs (default 2000)\n"
+      "  --cache-entries N  LRU prediction-cache entries, 0 disables "
+      "(default 1024)\n"
+      "  --cache-shards N   cache lock shards (default 8)\n"
+      "environment fallbacks: STHSL_SERVE_HOST, STHSL_SERVE_PORT,\n"
+      "  STHSL_SERVE_THREADS, STHSL_SERVE_MAX_BATCH, "
+      "STHSL_SERVE_MAX_WAIT_US,\n"
+      "  STHSL_SERVE_CACHE_ENTRIES, STHSL_SERVE_CACHE_SHARDS\n");
+  return 2;
+}
+
+std::string OptionOrEnv(const std::string& flag_value, const char* env_name,
+                        const std::string& fallback) {
+  if (!flag_value.empty()) return flag_value;
+  const char* env = std::getenv(env_name);
+  if (env != nullptr && env[0] != '\0') return env;
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bundle_dir, host, port, threads, max_batch, max_wait_us,
+      cache_entries, cache_shards;
+  struct FlagTarget {
+    const char* name;
+    std::string* value;
+  } flags[] = {
+      {"--bundle", &bundle_dir},         {"--host", &host},
+      {"--port", &port},                 {"--threads", &threads},
+      {"--max-batch", &max_batch},       {"--max-wait-us", &max_wait_us},
+      {"--cache-entries", &cache_entries}, {"--cache-shards", &cache_shards},
+  };
+  for (int i = 1; i + 1 < argc; i += 2) {
+    bool known = false;
+    for (auto& flag : flags) {
+      if (std::strcmp(argv[i], flag.name) == 0) {
+        *flag.value = argv[i + 1];
+        known = true;
+        break;
+      }
+    }
+    if (!known) return Usage();
+  }
+  if (argc % 2 == 0) return Usage();  // dangling flag without a value
+  if (bundle_dir.empty()) return Usage();
+
+  using sthsl::serve::EngineConfig;
+  EngineConfig config;
+  const std::string host_value =
+      OptionOrEnv(host, "STHSL_SERVE_HOST", "127.0.0.1");
+  const int port_value =
+      std::atoi(OptionOrEnv(port, "STHSL_SERVE_PORT", "8080").c_str());
+  config.batcher.worker_threads =
+      std::atoll(OptionOrEnv(threads, "STHSL_SERVE_THREADS", "2").c_str());
+  config.batcher.max_batch_size =
+      std::atoll(OptionOrEnv(max_batch, "STHSL_SERVE_MAX_BATCH", "8").c_str());
+  config.batcher.max_wait_us = std::atoll(
+      OptionOrEnv(max_wait_us, "STHSL_SERVE_MAX_WAIT_US", "2000").c_str());
+  config.cache_entries = std::atoll(
+      OptionOrEnv(cache_entries, "STHSL_SERVE_CACHE_ENTRIES", "1024").c_str());
+  config.cache_shards = std::atoll(
+      OptionOrEnv(cache_shards, "STHSL_SERVE_CACHE_SHARDS", "8").c_str());
+
+  auto bundle_or = sthsl::serve::LoadBundle(bundle_dir);
+  if (!bundle_or.ok()) {
+    std::fprintf(stderr, "cannot load bundle %s: %s\n", bundle_dir.c_str(),
+                 bundle_or.status().ToString().c_str());
+    return 1;
+  }
+  STHSL_LOG(Info) << "loaded bundle " << bundle_dir << ": model "
+                  << bundle_or.value().manifest.model << ", city "
+                  << bundle_or.value().manifest.city << ", window shape (R="
+                  << bundle_or.value().manifest.num_regions()
+                  << ", W=" << bundle_or.value().manifest.config.train.window
+                  << ", C=" << bundle_or.value().manifest.categories << ")";
+
+  sthsl::serve::InferenceEngine engine(std::move(bundle_or).value(), config);
+  sthsl::serve::PredictService service(&engine);
+  sthsl::serve::HttpServer server;
+  service.Register(&server);
+
+  sthsl::Status started = server.Start(host_value, port_value);
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  // The line the smoke tests and operators wait for; flushed immediately.
+  std::printf("sthsl_serve listening on %s:%d\n", host_value.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  STHSL_LOG(Info) << "stop signal received; draining";
+  server.Drain();     // finish in-flight HTTP requests first
+  engine.Shutdown();  // then flush the micro-batcher queue
+  STHSL_LOG(Info) << "drained cleanly after " << server.requests_served()
+                  << " requests";
+  return 0;
+}

@@ -18,12 +18,12 @@
 #include <string>
 #include <vector>
 
-#include "json_mini.h"
+#include "util/json_mini.h"
 
 namespace {
 
-using sthsl::tools::JsonParser;
-using sthsl::tools::JsonValue;
+using sthsl::json::JsonParser;
+using sthsl::json::JsonValue;
 
 constexpr JsonValue::Kind kNum = JsonValue::Kind::kNumber;
 constexpr JsonValue::Kind kStr = JsonValue::Kind::kString;
