@@ -3,13 +3,26 @@
 // encoder), conv1d (temporal encoders), softmax (contrastive loss) and a
 // full ST-HSL forward/backward step. Complements the experiment harnesses
 // with the model-complexity analysis of Sec. III-F.
+//
+// After the google-benchmark suite, main() runs a thread-scaling sweep of
+// the exec-layer kernels (1/2/4/8 threads) and writes the speedup-vs-serial
+// table to $STHSL_BENCH_JSON_DIR/BENCH_parallel.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.h"
 #include "core/sthsl_model.h"
+#include "exec/exec.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace sthsl {
 namespace {
@@ -109,7 +122,109 @@ void BM_SthslInference(benchmark::State& state) {
 }
 BENCHMARK(BM_SthslInference);
 
+// -- Thread-scaling sweep -----------------------------------------------------
+
+// Best-of-`iters` wall time of `fn` in microseconds (one warmup call).
+double TimeUs(const std::function<void()>& fn, int iters) {
+  fn();
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.ElapsedMicros());
+  }
+  return best;
+}
+
+struct SweepKernel {
+  std::string name;
+  std::function<void()> run;
+};
+
+void RunThreadScalingSweep() {
+  Rng rng(8);
+  Tensor ga = Tensor::Randn({256, 256}, rng);
+  Tensor gb = Tensor::Randn({256, 256}, rng);
+  Tensor c2_in = Tensor::Randn({64, 4, 16, 16}, rng);
+  Tensor c2_w = Tensor::Randn({4, 4, 3, 3}, rng);
+  Tensor c2_b = Tensor::Randn({4}, rng);
+  Tensor c1_in = Tensor::Randn({1024, 4, 14}, rng);
+  Tensor c1_w = Tensor::Randn({4, 4, 3}, rng);
+  Tensor ex = Tensor::Randn({int64_t{1} << 20}, rng);
+  Tensor ey = Tensor::Randn({int64_t{1} << 20}, rng);
+
+  const std::vector<SweepKernel> kernels = {
+      {"gemm_nn_256", [&] { benchmark::DoNotOptimize(MatMul(ga, gb)); }},
+      {"conv2d_b64",
+       [&] { benchmark::DoNotOptimize(Conv2d(c2_in, c2_w, c2_b, 1, 1)); }},
+      {"conv1d_b1024",
+       [&] { benchmark::DoNotOptimize(Conv1d(c1_in, c1_w, Tensor(), 1)); }},
+      {"fused_elementwise_1m",
+       [&] { benchmark::DoNotOptimize(Sigmoid(Add(Mul(ex, ey), ex))); }},
+  };
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  constexpr int kIters = 5;
+
+  NoGradGuard no_grad;
+  const int previous_threads = exec::ThreadCount();
+
+  bench::PrintSectionTitle("exec thread scaling (best-of-5, us)");
+  {
+    std::vector<std::string> columns = {"kernel"};
+    for (int t : thread_counts) {
+      columns.push_back("t" + std::to_string(t));
+    }
+    columns.push_back("speedup@4");
+    bench::PrintTableHeader(columns, 24, 12);
+  }
+
+  std::string json = "{\n  \"hardware_threads\": " +
+                     std::to_string(exec::HardwareThreadCount()) +
+                     ",\n  \"kernels\": [\n";
+  for (size_t ki = 0; ki < kernels.size(); ++ki) {
+    const SweepKernel& kernel = kernels[ki];
+    double serial_us = 0.0;
+    std::vector<double> row;
+    std::string entries;
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      exec::SetThreadCount(thread_counts[ti]);
+      const double us = TimeUs(kernel.run, kIters);
+      if (thread_counts[ti] == 1) serial_us = us;
+      const double speedup = us > 0.0 ? serial_us / us : 0.0;
+      row.push_back(us);
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "      {\"threads\": %d, \"us\": %.1f, "
+                    "\"speedup\": %.3f}%s\n",
+                    thread_counts[ti], us, speedup,
+                    ti + 1 < thread_counts.size() ? "," : "");
+      entries += buf;
+    }
+    const double at4 = row.size() > 2 && row[2] > 0.0 ? serial_us / row[2]
+                                                      : 0.0;
+    row.push_back(at4);
+    bench::PrintTableRow(kernel.name, row, 24, 12, 1);
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "    {\"name\": \"%s\", \"serial_us\": %.1f, "
+                  "\"threads\": [\n",
+                  kernel.name.c_str(), serial_us);
+    json += head;
+    json += entries;
+    json += ki + 1 < kernels.size() ? "    ]},\n" : "    ]}\n";
+  }
+  json += "  ]\n}\n";
+  exec::SetThreadCount(previous_threads);
+  bench::MaybeWriteBenchJson("parallel", json);
+}
+
 }  // namespace
 }  // namespace sthsl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  sthsl::RunThreadScalingSweep();
+  return 0;
+}

@@ -1,0 +1,300 @@
+#include "exec/exec.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/obs/obs.h"
+
+namespace sthsl::exec {
+namespace {
+
+constexpr int kMaxThreads = 512;
+
+// Thread count: 0 means "not resolved yet"; resolved lazily from
+// STHSL_THREADS (then hardware concurrency) on first read so tests and
+// tools can SetThreadCount before any kernel runs.
+std::atomic<int> g_thread_count{0};
+
+int ResolveThreadCountFromEnv() {
+  if (const char* env = std::getenv("STHSL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return parsed > kMaxThreads ? kMaxThreads : static_cast<int>(parsed);
+    }
+  }
+  return HardwareThreadCount();
+}
+
+// True while this thread executes a chunk of a parallel region; nested
+// ParallelFor calls see it and run serially inline.
+thread_local bool t_in_parallel_region = false;
+
+class RegionGuard {
+ public:
+  RegionGuard() { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = false; }
+
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+};
+
+// One parallel launch: a fixed chunk grid plus claim/completion state.
+// Chunks are claimed under the pool mutex (they are coarse by
+// construction), executed without it, and completion is signalled through
+// `remaining` + the owning launch's condition variable.
+struct Region {
+  exec_internal::ChunkFn fn = nullptr;
+  const void* ctx = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk_size = 1;
+  int64_t num_chunks = 0;
+  int64_t next_chunk = 0;  // guarded by the pool mutex
+  std::atomic<int64_t> remaining{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  obs::ParallelRegionToken token;
+};
+
+struct Pool {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::thread> workers;
+  std::deque<std::shared_ptr<Region>> active;
+  bool stopping = false;
+};
+
+// Leaked on purpose (like the obs state): workers may still be parked when
+// ordinary static destructors run; the atexit hook joins them first.
+Pool& P() {
+  static Pool* pool = new Pool();
+  return *pool;
+}
+
+void ExecuteChunk(Region& region, int64_t chunk) {
+  const int64_t b = region.begin + chunk * region.chunk_size;
+  int64_t e = b + region.chunk_size;
+  if (e > region.end) e = region.end;
+  if (!region.failed.load(std::memory_order_relaxed)) {
+    const bool slice_traced = region.token.active;
+    const double slice_start = slice_traced ? obs::TraceNowMicros() : 0.0;
+    RegionGuard in_region;
+    try {
+      region.fn(region.ctx, chunk, b, e);
+    } catch (...) {
+      region.failed.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(region.error_mu);
+      if (!region.error) region.error = std::current_exception();
+    }
+    if (slice_traced) {
+      obs::RecordParallelSlice(region.token, slice_start,
+                               obs::TraceNowMicros() - slice_start);
+    }
+  }
+  if (region.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(region.done_mu);
+    region.done_cv.notify_all();
+  }
+}
+
+void WorkerLoop() {
+  Pool& pool = P();
+  for (;;) {
+    std::shared_ptr<Region> region;
+    int64_t chunk = -1;
+    {
+      std::unique_lock<std::mutex> lock(pool.mu);
+      pool.cv.wait(lock,
+                   [&pool] { return pool.stopping || !pool.active.empty(); });
+      if (pool.active.empty()) {
+        if (pool.stopping) return;
+        continue;
+      }
+      region = pool.active.front();
+      if (region->next_chunk >= region->num_chunks) {
+        pool.active.pop_front();
+        continue;
+      }
+      chunk = region->next_chunk++;
+    }
+    ExecuteChunk(*region, chunk);
+  }
+}
+
+void EnsureWorkersLocked(Pool& pool, int wanted) {
+  static bool atexit_registered = [] {
+    std::atexit([] { ShutdownPool(); });
+    return true;
+  }();
+  (void)atexit_registered;
+  while (static_cast<int>(pool.workers.size()) < wanted) {
+    pool.workers.emplace_back(WorkerLoop);
+  }
+}
+
+}  // namespace
+
+int HardwareThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int ThreadCount() {
+  int count = g_thread_count.load(std::memory_order_relaxed);
+  if (count > 0) return count;
+  const int resolved = ResolveThreadCountFromEnv();
+  int expected = 0;
+  if (g_thread_count.compare_exchange_strong(expected, resolved,
+                                             std::memory_order_relaxed)) {
+    return resolved;
+  }
+  return expected;
+}
+
+void SetThreadCount(int count) {
+  if (count < 1) count = 1;
+  if (count > kMaxThreads) count = kMaxThreads;
+  g_thread_count.store(count, std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+void ShutdownPool() {
+  Pool& pool = P();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    pool.stopping = true;
+    workers.swap(pool.workers);
+  }
+  pool.cv.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    pool.stopping = false;
+  }
+}
+
+int64_t FixedChunkCount(int64_t range, int64_t grain) {
+  if (range <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return (range + grain - 1) / grain;
+}
+
+namespace exec_internal {
+
+int64_t ThreadChunkSize(int64_t range, int64_t grain) {
+  if (grain < 1) grain = 1;
+  int64_t chunks = (range + grain - 1) / grain;
+  const int64_t threads = ThreadCount();
+  if (chunks > threads) chunks = threads;
+  if (chunks < 1) chunks = 1;
+  return (range + chunks - 1) / chunks;
+}
+
+void Launch(int64_t begin, int64_t end, int64_t chunk_size,
+            int64_t num_chunks, ChunkFn fn, const void* ctx,
+            const char* tag) {
+  auto region = std::make_shared<Region>();
+  region->fn = fn;
+  region->ctx = ctx;
+  region->begin = begin;
+  region->end = end;
+  region->chunk_size = chunk_size;
+  region->num_chunks = num_chunks;
+  region->remaining.store(num_chunks, std::memory_order_relaxed);
+  region->token = obs::BeginParallelRegion(tag);
+
+  Pool& pool = P();
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    EnsureWorkersLocked(pool, ThreadCount() - 1);
+    pool.active.push_back(region);
+  }
+  pool.cv.notify_all();
+
+  // The launching thread participates until every chunk is claimed …
+  for (;;) {
+    int64_t chunk = -1;
+    {
+      std::lock_guard<std::mutex> lock(pool.mu);
+      if (region->next_chunk < region->num_chunks) {
+        chunk = region->next_chunk++;
+      } else {
+        // All chunks claimed: retire the region so it cannot linger in the
+        // queue when every chunk was executed by the caller.
+        for (auto it = pool.active.begin(); it != pool.active.end(); ++it) {
+          if (it->get() == region.get()) {
+            pool.active.erase(it);
+            break;
+          }
+        }
+      }
+    }
+    if (chunk < 0) break;
+    ExecuteChunk(*region, chunk);
+  }
+  // … then blocks until the last in-flight chunk finishes.
+  {
+    std::unique_lock<std::mutex> lock(region->done_mu);
+    region->done_cv.wait(lock, [&region] {
+      return region->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  obs::EndParallelRegion(region->token);
+  if (region->failed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(region->error_mu);
+    if (region->error) std::rethrow_exception(region->error);
+  }
+}
+
+}  // namespace exec_internal
+
+namespace {
+
+// Per-thread scratch arena: a small free list of float buffers reused
+// across ScratchLease lifetimes on the same thread. Capacity is retained so
+// steady-state kernel calls (e.g. conv backward every training step)
+// allocate nothing.
+constexpr size_t kMaxPooledBuffers = 8;
+thread_local std::vector<std::vector<float>*> t_scratch_pool;
+
+struct ScratchPoolCleanup {
+  ~ScratchPoolCleanup() {
+    for (std::vector<float>* buffer : t_scratch_pool) delete buffer;
+    t_scratch_pool.clear();
+  }
+};
+thread_local ScratchPoolCleanup t_scratch_cleanup;
+
+}  // namespace
+
+ScratchLease::ScratchLease(size_t size) : size_(size) {
+  (void)t_scratch_cleanup;
+  if (!t_scratch_pool.empty()) {
+    buffer_ = t_scratch_pool.back();
+    t_scratch_pool.pop_back();
+  } else {
+    buffer_ = new std::vector<float>();
+  }
+  if (buffer_->size() < size) buffer_->resize(size);
+}
+
+ScratchLease::~ScratchLease() {
+  if (t_scratch_pool.size() < kMaxPooledBuffers) {
+    t_scratch_pool.push_back(buffer_);
+  } else {
+    delete buffer_;
+  }
+}
+
+}  // namespace sthsl::exec

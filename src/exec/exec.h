@@ -1,0 +1,190 @@
+#ifndef STHSL_EXEC_EXEC_H_
+#define STHSL_EXEC_EXEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace sthsl::exec {
+
+/// Deterministic parallel execution layer.
+///
+/// A lazily-initialized shared thread pool plus ParallelFor / ParallelReduce
+/// primitives used by every compute kernel in the stack (GEMM, conv,
+/// elementwise, reductions, optimizers). The design contract is
+/// *determinism first*:
+///
+///  - ParallelFor chunk boundaries depend only on the range size, the grain
+///    and the configured thread count — never on scheduling. Each index is
+///    executed by exactly one chunk, so kernels whose chunks own disjoint
+///    output ranges produce bitwise-identical results at any thread count.
+///  - ParallelForFixedChunks / ParallelReduceDouble chunk boundaries depend
+///    only on the range size and the grain (NOT the thread count), and
+///    reduction partials are combined in ascending chunk order, so
+///    accumulating kernels (weight gradients, global sums) are also
+///    bitwise-identical at any thread count.
+///
+/// Configuration: the STHSL_THREADS environment variable (read once at
+/// first use) or SetThreadCount() at runtime; the default is the hardware
+/// concurrency. With a thread count of 1, or for ranges at or below the
+/// grain, work runs inline on the calling thread with near-zero overhead
+/// (two branches, no allocation). Nested parallel regions fall back to
+/// serial inline execution. See docs/performance.md.
+///
+/// Callables passed to the templates below must be const-invocable (any
+/// non-`mutable` lambda is).
+
+/// Number of hardware threads (std::thread::hardware_concurrency, min 1).
+int HardwareThreadCount();
+
+/// The configured thread count: SetThreadCount() override, else
+/// STHSL_THREADS, else HardwareThreadCount(). Always >= 1.
+int ThreadCount();
+
+/// Overrides the thread count (values < 1 clamp to 1). The pool grows
+/// lazily; shrinking only narrows future chunk distribution, idle workers
+/// stay parked.
+void SetThreadCount(int count);
+
+/// True while the calling thread is executing a chunk of a parallel region.
+/// ParallelFor checks this to run nested regions serially inline.
+bool InParallelRegion();
+
+/// Stops and joins every pool worker. The pool restarts lazily on the next
+/// parallel launch; exposed for tests and registered atexit so workers
+/// never outlive the process accounting (tsan-clean shutdown).
+void ShutdownPool();
+
+/// Number of chunks ParallelForFixedChunks splits `range` into: a pure
+/// function of range and grain, independent of the thread count.
+int64_t FixedChunkCount(int64_t range, int64_t grain);
+
+namespace exec_internal {
+
+using ChunkFn = void (*)(const void* ctx, int64_t chunk_index, int64_t begin,
+                         int64_t end);
+
+/// Runs chunks [begin + c*chunk_size, ...) for c in [0, num_chunks) across
+/// the pool (caller participates), then returns; rethrows the first chunk
+/// exception. Requires num_chunks >= 2.
+void Launch(int64_t begin, int64_t end, int64_t chunk_size,
+            int64_t num_chunks, ChunkFn fn, const void* ctx, const char* tag);
+
+/// Chunk size for ParallelFor: splits `range` over min(ThreadCount(),
+/// ceil(range/grain)) chunks. Depends on range, grain and the configured
+/// thread count only.
+int64_t ThreadChunkSize(int64_t range, int64_t grain);
+
+}  // namespace exec_internal
+
+/// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into at most
+/// ThreadCount() contiguous chunks of at least `grain` indices. Chunks own
+/// disjoint index ranges; `fn` must not write outside state derived from
+/// its range. Small ranges (<= grain) run inline on the caller.
+template <typename F>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, F&& fn,
+                 const char* tag = "exec/parallel_for") {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  if (range <= grain || ThreadCount() <= 1 || InParallelRegion()) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = exec_internal::ThreadChunkSize(range, grain);
+  const int64_t chunks = (range + chunk - 1) / chunk;
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  using Fn = std::remove_reference_t<F>;
+  exec_internal::Launch(
+      begin, end, chunk, chunks,
+      [](const void* ctx, int64_t, int64_t b, int64_t e) {
+        (*static_cast<const Fn*>(ctx))(b, e);
+      },
+      &fn, tag);
+}
+
+/// Runs `fn(chunk_index, chunk_begin, chunk_end)` over [begin, end) split
+/// into FixedChunkCount(range, grain) chunks of exactly `grain` indices
+/// (last chunk may be short). Boundaries and indices are independent of the
+/// thread count, so per-chunk partial results combined in ascending chunk
+/// order are bitwise-reproducible at any thread count.
+template <typename F>
+void ParallelForFixedChunks(int64_t begin, int64_t end, int64_t grain,
+                            F&& fn, const char* tag = "exec/fixed_chunks") {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  const int64_t chunks = (range + grain - 1) / grain;
+  if (chunks <= 1) {
+    fn(int64_t{0}, begin, end);
+    return;
+  }
+  if (ThreadCount() <= 1 || InParallelRegion()) {
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t b = begin + c * grain;
+      const int64_t e = b + grain < end ? b + grain : end;
+      fn(c, b, e);
+    }
+    return;
+  }
+  using Fn = std::remove_reference_t<F>;
+  exec_internal::Launch(
+      begin, end, grain, chunks,
+      [](const void* ctx, int64_t c, int64_t b, int64_t e) {
+        (*static_cast<const Fn*>(ctx))(c, b, e);
+      },
+      &fn, tag);
+}
+
+/// Deterministic parallel sum: `chunk_sum(chunk_begin, chunk_end)` returns
+/// one double partial per fixed chunk; partials are added in ascending
+/// chunk order. The result depends on range and grain but not on the
+/// thread count. A single-chunk range degenerates to one inline call, i.e.
+/// exactly the serial sum.
+template <typename F>
+double ParallelReduceDouble(int64_t begin, int64_t end, int64_t grain,
+                            F&& chunk_sum, const char* tag = "exec/reduce") {
+  const int64_t range = end - begin;
+  if (range <= 0) return 0.0;
+  if (grain < 1) grain = 1;
+  const int64_t chunks = (range + grain - 1) / grain;
+  if (chunks <= 1) return chunk_sum(begin, end);
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  auto runner = [&partials, &chunk_sum](int64_t c, int64_t b, int64_t e) {
+    partials[static_cast<size_t>(c)] = chunk_sum(b, e);
+  };
+  ParallelForFixedChunks(begin, end, grain, runner, tag);
+  double acc = 0.0;
+  for (const double p : partials) acc += p;
+  return acc;
+}
+
+/// Leases a reusable float buffer of at least `size` elements from the
+/// calling thread's scratch arena (owned by the exec layer, reused across
+/// calls, returned on destruction). Contents are unspecified — callers
+/// zero what they use. Kernels lease workspace (e.g. per-chunk partial
+/// gradient buffers in conv backward) here instead of allocating per call.
+class ScratchLease {
+ public:
+  explicit ScratchLease(size_t size);
+  ~ScratchLease();
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  float* data() { return buffer_->data(); }
+  const float* data() const { return buffer_->data(); }
+  size_t size() const { return size_; }
+
+ private:
+  std::vector<float>* buffer_;
+  size_t size_;
+};
+
+}  // namespace sthsl::exec
+
+#endif  // STHSL_EXEC_EXEC_H_

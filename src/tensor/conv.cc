@@ -1,7 +1,18 @@
 // Direct (stride-1) 1-D and 2-D convolution kernels with autograd.
+//
+// Execution: forward and the input-gradient pass parallelize over the batch
+// dimension (each sample's planes are owned by exactly one chunk, so any
+// thread count reproduces the serial result bitwise). The weight- and
+// bias-gradient passes reduce over the batch: they accumulate per-chunk
+// partials — with chunk boundaries that depend only on the batch size, not
+// the thread count — into a reusable scratch buffer leased from the exec
+// layer, then combine the partials in ascending chunk order. The scratch
+// arena replaces the per-call workspace allocations these passes needed.
 
 #include <algorithm>
+#include <cstring>
 
+#include "exec/exec.h"
 #include "tensor/debug_validator.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -11,6 +22,14 @@ namespace {
 
 bool NeedsGrad(const Tensor& t) {
   return t.Defined() && (t.RequiresGrad() || t.GradFn() != nullptr);
+}
+
+// Target multiply-add count per parallel chunk (see docs/performance.md).
+constexpr int64_t kConvGrainFlops = int64_t{1} << 17;
+
+int64_t BatchGrain(int64_t flops_per_sample) {
+  if (flops_per_sample < 1) flops_per_sample = 1;
+  return std::max<int64_t>(1, kConvGrainFlops / flops_per_sample);
 }
 
 }  // namespace
@@ -39,43 +58,55 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     STHSL_CHECK_EQ(bias.Numel(), cout) << "Conv2d bias size mismatch";
   }
 
+  const int64_t sample_flops = cout * cin * kh * kw * out_h * out_w * 2;
   std::vector<float> out(static_cast<size_t>(batch * cout * out_h * out_w),
                          0.0f);
-  const float* x = input.Data().data();
-  const float* w = weight.Data().data();
-
-  for (int64_t s = 0; s < batch; ++s) {
-    for (int64_t co = 0; co < cout; ++co) {
-      float* out_plane = out.data() + (s * cout + co) * out_h * out_w;
-      if (bias.Defined()) {
-        const float b = bias.Data()[static_cast<size_t>(co)];
-        for (int64_t i = 0; i < out_h * out_w; ++i) out_plane[i] = b;
-      }
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        const float* in_plane = x + (s * cin + ci) * height * width;
-        const float* w_plane = w + (co * cin + ci) * kh * kw;
-        for (int64_t dy = 0; dy < kh; ++dy) {
-          for (int64_t dx = 0; dx < kw; ++dx) {
-            const float wv = w_plane[dy * kw + dx];
-            if (wv == 0.0f) continue;
-            // Output rows for which input row oy - pad_h + dy is in range.
-            const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
-            const int64_t oy_hi =
-                std::min<int64_t>(out_h, height + pad_h - dy);
-            const int64_t ox_lo = std::max<int64_t>(0, pad_w - dx);
-            const int64_t ox_hi = std::min<int64_t>(out_w, width + pad_w - dx);
-            for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
-              const int64_t iy = oy - pad_h + dy;
-              const float* in_row = in_plane + iy * width - pad_w + dx;
-              float* out_row = out_plane + oy * out_w;
-              for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-                out_row[ox] += wv * in_row[ox];
+  {
+    const float* x = input.Data().data();
+    const float* w = weight.Data().data();
+    const float* bias_data = bias.Defined() ? bias.Data().data() : nullptr;
+    float* out_data = out.data();
+    exec::ParallelFor(
+        0, batch, BatchGrain(sample_flops),
+        [=](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            for (int64_t co = 0; co < cout; ++co) {
+              float* out_plane = out_data + (s * cout + co) * out_h * out_w;
+              if (bias_data != nullptr) {
+                const float b = bias_data[co];
+                for (int64_t i = 0; i < out_h * out_w; ++i) out_plane[i] = b;
+              }
+              for (int64_t ci = 0; ci < cin; ++ci) {
+                const float* in_plane = x + (s * cin + ci) * height * width;
+                const float* w_plane = w + (co * cin + ci) * kh * kw;
+                for (int64_t dy = 0; dy < kh; ++dy) {
+                  for (int64_t dx = 0; dx < kw; ++dx) {
+                    const float wv = w_plane[dy * kw + dx];
+                    if (wv == 0.0f) continue;
+                    // Output rows for which input row oy - pad_h + dy is in
+                    // range.
+                    const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
+                    const int64_t oy_hi =
+                        std::min<int64_t>(out_h, height + pad_h - dy);
+                    const int64_t ox_lo = std::max<int64_t>(0, pad_w - dx);
+                    const int64_t ox_hi =
+                        std::min<int64_t>(out_w, width + pad_w - dx);
+                    for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+                      const int64_t iy = oy - pad_h + dy;
+                      const float* in_row =
+                          in_plane + iy * width - pad_w + dx;
+                      float* out_row = out_plane + oy * out_w;
+                      for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                        out_row[ox] += wv * in_row[ox];
+                      }
+                    }
+                  }
+                }
               }
             }
           }
-        }
-      }
-    }
+        },
+        "exec/conv2d_fwd");
   }
 
   Tensor in_captured = input;
@@ -87,8 +118,8 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   return MakeResult(
       {batch, cout, out_h, out_w}, std::move(out), "conv2d", inputs,
       [in_captured, w_captured, b_captured, batch, cin, cout, height, width,
-       kh, kw, out_h, out_w, pad_h, pad_w](
-          const Tensor& g) -> std::vector<Tensor> {
+       kh, kw, out_h, out_w, pad_h, pad_w,
+       sample_flops](const Tensor& g) -> std::vector<Tensor> {
         const float* gv = g.Data().data();
         const float* x = in_captured.Data().data();
         const float* w = w_captured.Data().data();
@@ -100,86 +131,132 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         if (NeedsGrad(in_captured)) {
           std::vector<float> dx_buf(
               static_cast<size_t>(in_captured.Numel()), 0.0f);
-          for (int64_t s = 0; s < batch; ++s) {
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* g_plane = gv + (s * cout + co) * out_h * out_w;
-              for (int64_t ci = 0; ci < cin; ++ci) {
-                float* dx_plane =
-                    dx_buf.data() + (s * cin + ci) * height * width;
-                const float* w_plane = w + (co * cin + ci) * kh * kw;
-                for (int64_t dy = 0; dy < kh; ++dy) {
-                  for (int64_t dxk = 0; dxk < kw; ++dxk) {
-                    const float wv = w_plane[dy * kw + dxk];
-                    if (wv == 0.0f) continue;
-                    const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
-                    const int64_t oy_hi =
-                        std::min<int64_t>(out_h, height + pad_h - dy);
-                    const int64_t ox_lo = std::max<int64_t>(0, pad_w - dxk);
-                    const int64_t ox_hi =
-                        std::min<int64_t>(out_w, width + pad_w - dxk);
-                    for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
-                      const int64_t iy = oy - pad_h + dy;
-                      float* dx_row = dx_plane + iy * width - pad_w + dxk;
-                      const float* g_row = g_plane + oy * out_w;
-                      for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-                        dx_row[ox] += wv * g_row[ox];
+          float* dx_data = dx_buf.data();
+          exec::ParallelFor(
+              0, batch, BatchGrain(sample_flops),
+              [=](int64_t s0, int64_t s1) {
+                for (int64_t s = s0; s < s1; ++s) {
+                  for (int64_t co = 0; co < cout; ++co) {
+                    const float* g_plane =
+                        gv + (s * cout + co) * out_h * out_w;
+                    for (int64_t ci = 0; ci < cin; ++ci) {
+                      float* dx_plane =
+                          dx_data + (s * cin + ci) * height * width;
+                      const float* w_plane = w + (co * cin + ci) * kh * kw;
+                      for (int64_t dy = 0; dy < kh; ++dy) {
+                        for (int64_t dxk = 0; dxk < kw; ++dxk) {
+                          const float wv = w_plane[dy * kw + dxk];
+                          if (wv == 0.0f) continue;
+                          const int64_t oy_lo =
+                              std::max<int64_t>(0, pad_h - dy);
+                          const int64_t oy_hi =
+                              std::min<int64_t>(out_h, height + pad_h - dy);
+                          const int64_t ox_lo =
+                              std::max<int64_t>(0, pad_w - dxk);
+                          const int64_t ox_hi =
+                              std::min<int64_t>(out_w, width + pad_w - dxk);
+                          for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+                            const int64_t iy = oy - pad_h + dy;
+                            float* dx_row =
+                                dx_plane + iy * width - pad_w + dxk;
+                            const float* g_row = g_plane + oy * out_w;
+                            for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                              dx_row[ox] += wv * g_row[ox];
+                            }
+                          }
+                        }
                       }
                     }
                   }
                 }
-              }
-            }
-          }
+              },
+              "exec/conv2d_bwd_x");
           gi = Tensor::FromVector(in_captured.Shape(), std::move(dx_buf));
         }
 
-        if (NeedsGrad(w_captured)) {
-          std::vector<float> dw_buf(
-              static_cast<size_t>(w_captured.Numel()), 0.0f);
-          for (int64_t s = 0; s < batch; ++s) {
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* g_plane = gv + (s * cout + co) * out_h * out_w;
-              for (int64_t ci = 0; ci < cin; ++ci) {
-                const float* in_plane = x + (s * cin + ci) * height * width;
-                float* dw_plane = dw_buf.data() + (co * cin + ci) * kh * kw;
-                for (int64_t dy = 0; dy < kh; ++dy) {
-                  for (int64_t dxk = 0; dxk < kw; ++dxk) {
-                    const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
-                    const int64_t oy_hi =
-                        std::min<int64_t>(out_h, height + pad_h - dy);
-                    const int64_t ox_lo = std::max<int64_t>(0, pad_w - dxk);
-                    const int64_t ox_hi =
-                        std::min<int64_t>(out_w, width + pad_w - dxk);
-                    float acc = 0.0f;
-                    for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
-                      const int64_t iy = oy - pad_h + dy;
-                      const float* in_row =
-                          in_plane + iy * width - pad_w + dxk;
-                      const float* g_row = g_plane + oy * out_w;
-                      for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-                        acc += in_row[ox] * g_row[ox];
+        const bool need_w = NeedsGrad(w_captured);
+        const bool need_b = b_captured.Defined() && NeedsGrad(b_captured);
+        if (need_w || need_b) {
+          const int64_t dw_size = need_w ? cout * cin * kh * kw : 0;
+          const int64_t db_size = need_b ? cout : 0;
+          const int64_t stride = dw_size + db_size;
+          const int64_t grain = BatchGrain(sample_flops);
+          const int64_t chunks = exec::FixedChunkCount(batch, grain);
+          // Per-chunk partial gradients, leased from the exec layer's
+          // reusable scratch arena instead of allocated per call.
+          exec::ScratchLease scratch(static_cast<size_t>(chunks * stride));
+          float* partials = scratch.data();
+          exec::ParallelForFixedChunks(
+              0, batch, grain,
+              [=](int64_t c, int64_t s0, int64_t s1) {
+                float* dw_part = partials + c * stride;
+                float* db_part = dw_part + dw_size;
+                std::memset(dw_part, 0,
+                            static_cast<size_t>(stride) * sizeof(float));
+                for (int64_t s = s0; s < s1; ++s) {
+                  for (int64_t co = 0; co < cout; ++co) {
+                    const float* g_plane =
+                        gv + (s * cout + co) * out_h * out_w;
+                    if (need_w) {
+                      for (int64_t ci = 0; ci < cin; ++ci) {
+                        const float* in_plane =
+                            x + (s * cin + ci) * height * width;
+                        float* dw_plane = dw_part + (co * cin + ci) * kh * kw;
+                        for (int64_t dy = 0; dy < kh; ++dy) {
+                          for (int64_t dxk = 0; dxk < kw; ++dxk) {
+                            const int64_t oy_lo =
+                                std::max<int64_t>(0, pad_h - dy);
+                            const int64_t oy_hi = std::min<int64_t>(
+                                out_h, height + pad_h - dy);
+                            const int64_t ox_lo =
+                                std::max<int64_t>(0, pad_w - dxk);
+                            const int64_t ox_hi =
+                                std::min<int64_t>(out_w, width + pad_w - dxk);
+                            float acc = 0.0f;
+                            for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+                              const int64_t iy = oy - pad_h + dy;
+                              const float* in_row =
+                                  in_plane + iy * width - pad_w + dxk;
+                              const float* g_row = g_plane + oy * out_w;
+                              for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                                acc += in_row[ox] * g_row[ox];
+                              }
+                            }
+                            dw_plane[dy * kw + dxk] += acc;
+                          }
+                        }
                       }
                     }
-                    dw_plane[dy * kw + dxk] += acc;
+                    if (need_b) {
+                      float acc = 0.0f;
+                      for (int64_t i = 0; i < out_h * out_w; ++i) {
+                        acc += g_plane[i];
+                      }
+                      db_part[co] += acc;
+                    }
                   }
                 }
-              }
+              },
+              "exec/conv2d_bwd_w");
+          // Combine partials in ascending chunk order: deterministic at any
+          // thread count, and identical to the serial loop when the batch
+          // fits one chunk.
+          if (need_w) {
+            std::vector<float> dw_buf(static_cast<size_t>(dw_size), 0.0f);
+            for (int64_t c = 0; c < chunks; ++c) {
+              const float* dw_part = partials + c * stride;
+              for (int64_t t = 0; t < dw_size; ++t) dw_buf[t] += dw_part[t];
             }
+            gw = Tensor::FromVector(w_captured.Shape(), std::move(dw_buf));
           }
-          gw = Tensor::FromVector(w_captured.Shape(), std::move(dw_buf));
-        }
-
-        if (b_captured.Defined() && NeedsGrad(b_captured)) {
-          std::vector<float> db_buf(static_cast<size_t>(cout), 0.0f);
-          for (int64_t s = 0; s < batch; ++s) {
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* g_plane = gv + (s * cout + co) * out_h * out_w;
-              float acc = 0.0f;
-              for (int64_t i = 0; i < out_h * out_w; ++i) acc += g_plane[i];
-              db_buf[static_cast<size_t>(co)] += acc;
+          if (need_b) {
+            std::vector<float> db_buf(static_cast<size_t>(db_size), 0.0f);
+            for (int64_t c = 0; c < chunks; ++c) {
+              const float* db_part = partials + c * stride + dw_size;
+              for (int64_t t = 0; t < db_size; ++t) db_buf[t] += db_part[t];
             }
+            gb = Tensor::FromVector(b_captured.Shape(), std::move(db_buf));
           }
-          gb = Tensor::FromVector(b_captured.Shape(), std::move(db_buf));
         }
 
         std::vector<Tensor> grads = {gi, gw};

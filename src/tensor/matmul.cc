@@ -1,5 +1,14 @@
 // Matrix-product kernels and the MatMul autograd op.
+//
+// All three GEMM variants dispatch row-blocked through the exec layer:
+// each chunk owns a disjoint range of output rows and runs the exact
+// serial inner loops, so results are bitwise-identical at any thread
+// count. The former `av == 0.0f` skip branches are gone — they broke
+// vectorization of the dense inner loops and made timing data-dependent.
 
+#include <algorithm>
+
+#include "exec/exec.h"
 #include "tensor/debug_validator.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -11,14 +20,23 @@ bool NeedsGrad(const Tensor& t) {
   return t.Defined() && (t.RequiresGrad() || t.GradFn() != nullptr);
 }
 
-// C(m,n) += A(m,k) * B(k,n). C must be pre-zeroed. Loop order (i, p, j)
-// keeps both B and C accesses contiguous in the inner loop.
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
+// Target fused-multiply-add count per parallel chunk; keeps op-launch
+// overhead negligible for small problems (they run inline on the caller).
+constexpr int64_t kGemmGrainFlops = int64_t{1} << 17;
+
+int64_t RowGrain(int64_t flops_per_row) {
+  if (flops_per_row < 1) flops_per_row = 1;
+  return std::max<int64_t>(1, kGemmGrainFlops / flops_per_row);
+}
+
+// C(m,n) += A(m,k) * B(k,n) restricted to output rows [i0, i1). C must be
+// pre-zeroed. Loop order (i, p, j) keeps both B and C accesses contiguous
+// in the inner loop.
+void GemmNNRows(const float* a, const float* b, float* c, int64_t k,
+                int64_t n, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
     for (int64_t p = 0; p < k; ++p) {
       const float av = a[i * k + p];
-      if (av == 0.0f) continue;
       const float* brow = b + p * n;
       float* crow = c + i * n;
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
@@ -26,10 +44,11 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
 }
 
-// C(m,k) += A(m,n) * B(k,n)^T  — rows of both operands are contiguous.
-void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
-            int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
+// C(m,k) += A(m,n) * B(k,n)^T restricted to output rows [i0, i1) — rows of
+// both operands are contiguous.
+void GemmNTRows(const float* a, const float* b, float* c, int64_t n,
+                int64_t k, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
     const float* arow = a + i * n;
     for (int64_t p = 0; p < k; ++p) {
       const float* brow = b + p * n;
@@ -40,19 +59,69 @@ void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
   }
 }
 
-// C(k,n) += A(m,k)^T * B(m,n).
-void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c + p * n;
+// C(k,n) += A(m,k)^T * B(m,n) restricted to output rows [p0, p1). Each
+// output row accumulates over i in ascending order — the same per-element
+// association as the serial (i, p, j) loop, so the result is bitwise
+// independent of the row chunking.
+void GemmTNRows(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, int64_t p0, int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    float* crow = c + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a[i * k + p];
+      const float* brow = b + i * n;
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
+}
+
+// Parallel batched GemmNN: collapses (batch, row) into one index space so
+// small per-sample GEMMs still fill the pool.
+void GemmNNBatched(const float* a, const float* b, float* c, int64_t batch,
+                   int64_t m, int64_t k, int64_t n, bool b_batched) {
+  exec::ParallelFor(
+      0, batch * m, RowGrain(2 * k * n),
+      [=](int64_t r0, int64_t r1) {
+        int64_t r = r0;
+        while (r < r1) {
+          const int64_t s = r / m;
+          const int64_t i0 = r % m;
+          const int64_t i1 = std::min(m, i0 + (r1 - r));
+          GemmNNRows(a + s * m * k, b + (b_batched ? s * k * n : 0),
+                     c + s * m * n, k, n, i0, i1);
+          r += i1 - i0;
+        }
+      },
+      "exec/gemm_nn");
+}
+
+void GemmNTBatched(const float* a, const float* b, float* c, int64_t batch,
+                   int64_t m, int64_t n, int64_t k, bool b_batched) {
+  exec::ParallelFor(
+      0, batch * m, RowGrain(2 * n * k),
+      [=](int64_t r0, int64_t r1) {
+        int64_t r = r0;
+        while (r < r1) {
+          const int64_t s = r / m;
+          const int64_t i0 = r % m;
+          const int64_t i1 = std::min(m, i0 + (r1 - r));
+          GemmNTRows(a + s * m * n, b + (b_batched ? s * k * n : 0),
+                     c + s * m * k, n, k, i0, i1);
+          r += i1 - i0;
+        }
+      },
+      "exec/gemm_nt");
+}
+
+// Parallel GemmTN over one batch sample: output rows (the k dimension) are
+// disjoint per chunk. Batch samples accumulating into a *shared* C must be
+// applied serially outside (ascending s) to keep the accumulation order.
+void GemmTNParallel(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  exec::ParallelFor(
+      0, k, RowGrain(2 * m * n),
+      [=](int64_t p0, int64_t p1) { GemmTNRows(a, b, c, m, k, n, p0, p1); },
+      "exec/gemm_tn");
 }
 
 }  // namespace
@@ -84,12 +153,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   }
 
   std::vector<float> out(static_cast<size_t>(batch * m * n), 0.0f);
-  const float* av = a.Data().data();
-  const float* bv = b.Data().data();
-  for (int64_t s = 0; s < batch; ++s) {
-    GemmNN(av + s * m * k, bv + (b_batched ? s * k * n : 0),
-           out.data() + s * m * n, m, k, n);
-  }
+  GemmNNBatched(a.Data().data(), b.Data().data(), out.data(), batch, m, k, n,
+                b_batched);
 
   std::vector<int64_t> out_shape =
       a_rank == 3 ? std::vector<int64_t>{batch, m, n}
@@ -108,20 +173,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         Tensor gb;
         if (NeedsGrad(a_captured)) {
           std::vector<float> da(static_cast<size_t>(batch * m * k), 0.0f);
-          for (int64_t s = 0; s < batch; ++s) {
-            // dA = dC * B^T
-            GemmNT(gv + s * m * n, bv + (b_batched ? s * k * n : 0),
-                   da.data() + s * m * k, m, n, k);
-          }
+          // dA = dC * B^T
+          GemmNTBatched(gv, bv, da.data(), batch, m, n, k, b_batched);
           ga = Tensor::FromVector(a_captured.Shape(), std::move(da));
         }
         if (NeedsGrad(b_captured)) {
           std::vector<float> db(
               static_cast<size_t>((b_batched ? batch : 1) * k * n), 0.0f);
+          // dB = A^T * dC. When B is shared across the batch the samples
+          // accumulate into one buffer, so they are applied in ascending
+          // batch order (each sample's GEMM is row-parallel internally).
           for (int64_t s = 0; s < batch; ++s) {
-            // dB = A^T * dC (accumulated over the batch when B is shared)
-            GemmTN(av + s * m * k, gv + s * m * n,
-                   db.data() + (b_batched ? s * k * n : 0), m, k, n);
+            GemmTNParallel(av + s * m * k, gv + s * m * n,
+                           db.data() + (b_batched ? s * k * n : 0), m, k, n);
           }
           gb = Tensor::FromVector(b_captured.Shape(), std::move(db));
         }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "exec/exec.h"
 #include "tensor/debug_validator.h"
 #include "util/check.h"
 
@@ -14,6 +15,15 @@ namespace {
 bool NeedsGrad(const Tensor& t) {
   return t.Defined() && (t.RequiresGrad() || t.GradFn() != nullptr);
 }
+
+// Minimum elements per parallel chunk for elementwise / gather kernels;
+// smaller tensors run inline on the caller (see docs/performance.md).
+constexpr int64_t kElemGrain = 16384;
+
+// Fixed chunk size for the global-sum reduction. This is a *determinism*
+// constant, not a tuning knob: Sum(all) partials are per-chunk, so changing
+// it changes the (documented) floating-point association.
+constexpr int64_t kSumAllGrain = 32768;
 
 // Strides of `shape` left-padded to `rank` dims, with 0 for broadcast dims.
 std::vector<int64_t> BroadcastStrides(const std::vector<int64_t>& shape,
@@ -61,26 +71,35 @@ Tensor BroadcastBinary(const char* name, const Tensor& a, const Tensor& b,
   const auto& bv = b.Data();
 
   if (a.Shape() == b.Shape()) {
-    for (int64_t i = 0; i < n; ++i) {
-      out[i] = fwd(av[i], bv[i]);
-    }
+    exec::ParallelFor(
+        0, n, kElemGrain,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) out[i] = fwd(av[i], bv[i]);
+        },
+        "exec/elementwise");
   } else {
     const auto sa = BroadcastStrides(a.Shape(), out_shape);
     const auto sb = BroadcastStrides(b.Shape(), out_shape);
     const auto so = StridesOf(out_shape);
     const size_t rank = out_shape.size();
-    for (int64_t i = 0; i < n; ++i) {
-      int64_t rem = i;
-      int64_t ia = 0;
-      int64_t ib = 0;
-      for (size_t d = 0; d < rank; ++d) {
-        const int64_t coord = rem / so[d];
-        rem -= coord * so[d];
-        ia += coord * sa[d];
-        ib += coord * sb[d];
-      }
-      out[i] = fwd(av[static_cast<size_t>(ia)], bv[static_cast<size_t>(ib)]);
-    }
+    exec::ParallelFor(
+        0, n, kElemGrain,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            int64_t rem = i;
+            int64_t ia = 0;
+            int64_t ib = 0;
+            for (size_t d = 0; d < rank; ++d) {
+              const int64_t coord = rem / so[d];
+              rem -= coord * so[d];
+              ia += coord * sa[d];
+              ib += coord * sb[d];
+            }
+            out[i] =
+                fwd(av[static_cast<size_t>(ia)], bv[static_cast<size_t>(ib)]);
+          }
+        },
+        "exec/elementwise");
   }
 
   Tensor a_captured = a;
@@ -105,30 +124,40 @@ Tensor BroadcastBinary(const char* name, const Tensor& a, const Tensor& b,
         if (need_b) gb_full.resize(static_cast<size_t>(n));
 
         if (a_captured.Shape() == b_captured.Shape()) {
-          for (int64_t i = 0; i < n; ++i) {
-            if (need_a) ga_full[i] = gv[i] * dx(av[i], bv[i]);
-            if (need_b) gb_full[i] = gv[i] * dy(av[i], bv[i]);
-          }
+          exec::ParallelFor(
+              0, n, kElemGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  if (need_a) ga_full[i] = gv[i] * dx(av[i], bv[i]);
+                  if (need_b) gb_full[i] = gv[i] * dy(av[i], bv[i]);
+                }
+              },
+              "exec/elementwise");
         } else {
           const auto sa = BroadcastStrides(a_captured.Shape(), out_shape);
           const auto sb = BroadcastStrides(b_captured.Shape(), out_shape);
           const auto so = StridesOf(out_shape);
           const size_t rank = out_shape.size();
-          for (int64_t i = 0; i < n; ++i) {
-            int64_t rem = i;
-            int64_t ia = 0;
-            int64_t ib = 0;
-            for (size_t d = 0; d < rank; ++d) {
-              const int64_t coord = rem / so[d];
-              rem -= coord * so[d];
-              ia += coord * sa[d];
-              ib += coord * sb[d];
-            }
-            const float x = av[static_cast<size_t>(ia)];
-            const float y = bv[static_cast<size_t>(ib)];
-            if (need_a) ga_full[i] = gv[i] * dx(x, y);
-            if (need_b) gb_full[i] = gv[i] * dy(x, y);
-          }
+          exec::ParallelFor(
+              0, n, kElemGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  int64_t rem = i;
+                  int64_t ia = 0;
+                  int64_t ib = 0;
+                  for (size_t d = 0; d < rank; ++d) {
+                    const int64_t coord = rem / so[d];
+                    rem -= coord * so[d];
+                    ia += coord * sa[d];
+                    ib += coord * sb[d];
+                  }
+                  const float x = av[static_cast<size_t>(ia)];
+                  const float y = bv[static_cast<size_t>(ib)];
+                  if (need_a) ga_full[i] = gv[i] * dx(x, y);
+                  if (need_b) gb_full[i] = gv[i] * dy(x, y);
+                }
+              },
+              "exec/elementwise");
         }
         if (need_a) {
           ga = ReduceGradTo(Tensor::FromVector(out_shape, std::move(ga_full)),
@@ -148,7 +177,12 @@ Tensor UnaryOp(const char* name, const Tensor& a, Fwd fwd, Df df) {
   const int64_t n = a.Numel();
   std::vector<float> out(static_cast<size_t>(n));
   const auto& av = a.Data();
-  for (int64_t i = 0; i < n; ++i) out[i] = fwd(av[i]);
+  exec::ParallelFor(
+      0, n, kElemGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) out[i] = fwd(av[i]);
+      },
+      "exec/elementwise");
 
   Tensor a_captured = a;
   Tensor fx = Tensor::FromVector(a.Shape(), out);  // detached copy of outputs
@@ -160,7 +194,14 @@ Tensor UnaryOp(const char* name, const Tensor& a, Fwd fwd, Df df) {
         const auto& av = a_captured.Data();
         const auto& fv = fx.Data();
         std::vector<float> ga(static_cast<size_t>(n));
-        for (int64_t i = 0; i < n; ++i) ga[i] = gv[i] * df(av[i], fv[i]);
+        exec::ParallelFor(
+            0, n, kElemGrain,
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t i = lo; i < hi; ++i) {
+                ga[i] = gv[i] * df(av[i], fv[i]);
+              }
+            },
+            "exec/elementwise");
         return {Tensor::FromVector(a_captured.Shape(), std::move(ga))};
       });
 }
@@ -310,9 +351,18 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
 // -- Reductions -----------------------------------------------------------------
 
 Tensor Sum(const Tensor& a) {
-  const auto& av = a.Data();
-  double acc = 0.0;
-  for (float v : av) acc += v;
+  const float* av = a.Data().data();
+  // Per-chunk double partials combined in ascending chunk order: the result
+  // depends on kSumAllGrain but not on the thread count, and tensors that
+  // fit a single chunk reduce exactly like the plain serial loop.
+  const double acc = exec::ParallelReduceDouble(
+      0, a.Numel(), kSumAllGrain,
+      [av](int64_t lo, int64_t hi) {
+        double part = 0.0;
+        for (int64_t i = lo; i < hi; ++i) part += av[i];
+        return part;
+      },
+      "exec/sum_all");
   Tensor a_captured = a;
   return MakeResult(
       {}, {static_cast<float>(acc)}, "sum_all", {a},
@@ -346,21 +396,57 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
 
   const auto in_strides = StridesOf(shape);
   const auto keep_strides = StridesOf(keep_shape);
-  const int64_t n = a.Numel();
-  std::vector<float> out(static_cast<size_t>(NumelOf(keep_shape)), 0.0f);
-  const auto& av = a.Data();
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t rem = i;
-    int64_t oi = 0;
-    for (int64_t d = 0; d < rank; ++d) {
-      const int64_t coord = rem / in_strides[static_cast<size_t>(d)];
-      rem -= coord * in_strides[static_cast<size_t>(d)];
-      if (!reduce[static_cast<size_t>(d)]) {
-        oi += coord * keep_strides[static_cast<size_t>(d)];
-      }
+  const int64_t out_n = NumelOf(keep_shape);
+  std::vector<float> out(static_cast<size_t>(out_n), 0.0f);
+  const float* av = a.Data().data();
+
+  // Gather formulation: each output element owns its accumulator and sums
+  // its reduced coordinates in ascending input order — the exact addition
+  // sequence of a serial scatter pass — so chunking the *output* range
+  // keeps the result bitwise-identical at any thread count.
+  std::vector<int64_t> red_stride;
+  std::vector<int64_t> red_extent;
+  int64_t red_count = 1;
+  for (int64_t d = 0; d < rank; ++d) {
+    if (reduce[static_cast<size_t>(d)]) {
+      red_stride.push_back(in_strides[static_cast<size_t>(d)]);
+      red_extent.push_back(shape[static_cast<size_t>(d)]);
+      red_count *= shape[static_cast<size_t>(d)];
     }
-    out[static_cast<size_t>(oi)] += av[i];
   }
+  const size_t red_rank = red_stride.size();
+
+  exec::ParallelFor(
+      0, out_n,
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, red_count)),
+      [&](int64_t lo, int64_t hi) {
+        std::vector<int64_t> coord(red_rank, 0);
+        for (int64_t oi = lo; oi < hi; ++oi) {
+          // Base input offset of this output element: reduced dims have
+          // keep extent 1, so they decompose to coordinate 0 here.
+          int64_t rem = oi;
+          int64_t base = 0;
+          for (int64_t d = 0; d < rank; ++d) {
+            const int64_t c = rem / keep_strides[static_cast<size_t>(d)];
+            rem -= c * keep_strides[static_cast<size_t>(d)];
+            base += c * in_strides[static_cast<size_t>(d)];
+          }
+          float acc = 0.0f;
+          std::fill(coord.begin(), coord.end(), 0);
+          int64_t off = 0;
+          for (int64_t r = 0; r < red_count; ++r) {
+            acc += av[base + off];
+            for (size_t d = red_rank; d-- > 0;) {
+              off += red_stride[d];
+              if (++coord[d] < red_extent[d]) break;
+              off -= red_stride[d] * red_extent[d];
+              coord[d] = 0;
+            }
+          }
+          out[static_cast<size_t>(oi)] = acc;
+        }
+      },
+      "exec/sum_dims");
 
   Tensor a_captured = a;
   return MakeResult(
@@ -477,16 +563,21 @@ Tensor Permute(const Tensor& a, std::vector<int64_t> dims) {
   const int64_t n = a.Numel();
   std::vector<float> out(static_cast<size_t>(n));
   const auto& av = a.Data();
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t rem = i;
-    int64_t src = 0;
-    for (size_t d = 0; d < rank; ++d) {
-      const int64_t coord = rem / out_strides[d];
-      rem -= coord * out_strides[d];
-      src += coord * in_strides[static_cast<size_t>(dims[d])];
-    }
-    out[static_cast<size_t>(i)] = av[static_cast<size_t>(src)];
-  }
+  exec::ParallelFor(
+      0, n, kElemGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          int64_t rem = i;
+          int64_t src = 0;
+          for (size_t d = 0; d < rank; ++d) {
+            const int64_t coord = rem / out_strides[d];
+            rem -= coord * out_strides[d];
+            src += coord * in_strides[static_cast<size_t>(dims[d])];
+          }
+          out[static_cast<size_t>(i)] = av[static_cast<size_t>(src)];
+        }
+      },
+      "exec/permute");
 
   std::vector<int64_t> inverse(rank);
   for (size_t i = 0; i < rank; ++i) {
@@ -719,47 +810,64 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
 
   std::vector<float> out(static_cast<size_t>(a.Numel()));
   const auto& av = a.Data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float max_val = -std::numeric_limits<float>::infinity();
-      for (int64_t e = 0; e < extent; ++e) {
-        max_val = std::max(
-            max_val, av[static_cast<size_t>((o * extent + e) * inner + i)]);
-      }
-      float denom = 0.0f;
-      for (int64_t e = 0; e < extent; ++e) {
-        const size_t idx = static_cast<size_t>((o * extent + e) * inner + i);
-        out[idx] = std::exp(av[idx] - max_val);
-        denom += out[idx];
-      }
-      for (int64_t e = 0; e < extent; ++e) {
-        out[static_cast<size_t>((o * extent + e) * inner + i)] /= denom;
-      }
-    }
-  }
+  // Each (outer, inner) lane is independent; parallel chunks own disjoint
+  // lanes, so any thread count reproduces the serial result bitwise.
+  const int64_t lane_grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, extent));
+  exec::ParallelFor(
+      0, outer * inner, lane_grain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t l = lo; l < hi; ++l) {
+          const int64_t o = l / inner;
+          const int64_t i = l % inner;
+          float max_val = -std::numeric_limits<float>::infinity();
+          for (int64_t e = 0; e < extent; ++e) {
+            max_val = std::max(
+                max_val,
+                av[static_cast<size_t>((o * extent + e) * inner + i)]);
+          }
+          float denom = 0.0f;
+          for (int64_t e = 0; e < extent; ++e) {
+            const size_t idx =
+                static_cast<size_t>((o * extent + e) * inner + i);
+            out[idx] = std::exp(av[idx] - max_val);
+            denom += out[idx];
+          }
+          for (int64_t e = 0; e < extent; ++e) {
+            out[static_cast<size_t>((o * extent + e) * inner + i)] /= denom;
+          }
+        }
+      },
+      "exec/softmax");
 
   Tensor y = Tensor::FromVector(shape, out);  // detached copy for backward
   return MakeResult(
       shape, std::move(out), "softmax", {a},
-      [y, outer, inner, extent](const Tensor& g) -> std::vector<Tensor> {
+      [y, outer, inner, extent,
+       lane_grain](const Tensor& g) -> std::vector<Tensor> {
         const auto& yv = y.Data();
         const auto& gv = g.Data();
         std::vector<float> ga(yv.size());
-        for (int64_t o = 0; o < outer; ++o) {
-          for (int64_t i = 0; i < inner; ++i) {
-            float dot = 0.0f;
-            for (int64_t e = 0; e < extent; ++e) {
-              const size_t idx =
-                  static_cast<size_t>((o * extent + e) * inner + i);
-              dot += gv[idx] * yv[idx];
-            }
-            for (int64_t e = 0; e < extent; ++e) {
-              const size_t idx =
-                  static_cast<size_t>((o * extent + e) * inner + i);
-              ga[idx] = yv[idx] * (gv[idx] - dot);
-            }
-          }
-        }
+        exec::ParallelFor(
+            0, outer * inner, lane_grain,
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t l = lo; l < hi; ++l) {
+                const int64_t o = l / inner;
+                const int64_t i = l % inner;
+                float dot = 0.0f;
+                for (int64_t e = 0; e < extent; ++e) {
+                  const size_t idx =
+                      static_cast<size_t>((o * extent + e) * inner + i);
+                  dot += gv[idx] * yv[idx];
+                }
+                for (int64_t e = 0; e < extent; ++e) {
+                  const size_t idx =
+                      static_cast<size_t>((o * extent + e) * inner + i);
+                  ga[idx] = yv[idx] * (gv[idx] - dot);
+                }
+              }
+            },
+            "exec/softmax");
         return {Tensor::FromVector(y.Shape(), std::move(ga))};
       });
 }

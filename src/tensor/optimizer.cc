@@ -2,10 +2,19 @@
 
 #include <cmath>
 
+#include "exec/exec.h"
 #include "tensor/debug_validator.h"
 #include "util/check.h"
 
 namespace sthsl {
+namespace {
+
+// Minimum parameter elements per parallel chunk; each element's update is
+// independent, so chunking never changes the result. Small tensors (the
+// common case for biases) run inline.
+constexpr int64_t kOptimGrain = 8192;
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
   for (const auto& p : params_) {
@@ -38,15 +47,25 @@ void Sgd::Step() {
     if (momentum_ > 0.0f) {
       auto& vel = velocity_[i];
       if (vel.empty()) vel.assign(data.size(), 0.0f);
-      for (size_t j = 0; j < data.size(); ++j) {
-        const float grad = g[j] + weight_decay_ * data[j];
-        vel[j] = momentum_ * vel[j] + grad;
-        data[j] -= lr_ * vel[j];
-      }
+      exec::ParallelFor(
+          0, static_cast<int64_t>(data.size()), kOptimGrain,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t j = lo; j < hi; ++j) {
+              const float grad = g[j] + weight_decay_ * data[j];
+              vel[j] = momentum_ * vel[j] + grad;
+              data[j] -= lr_ * vel[j];
+            }
+          },
+          "exec/sgd_step");
     } else {
-      for (size_t j = 0; j < data.size(); ++j) {
-        data[j] -= lr_ * (g[j] + weight_decay_ * data[j]);
-      }
+      exec::ParallelFor(
+          0, static_cast<int64_t>(data.size()), kOptimGrain,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t j = lo; j < hi; ++j) {
+              data[j] -= lr_ * (g[j] + weight_decay_ * data[j]);
+            }
+          },
+          "exec/sgd_step");
     }
   }
 }
@@ -81,14 +100,19 @@ void Adam::Step() {
       m.assign(data.size(), 0.0f);
       v.assign(data.size(), 0.0f);
     }
-    for (size_t j = 0; j < data.size(); ++j) {
-      const float grad = g[j] + weight_decay_ * data[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
-      const float m_hat = m[j] / bc1;
-      const float v_hat = v[j] / bc2;
-      data[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    exec::ParallelFor(
+        0, static_cast<int64_t>(data.size()), kOptimGrain,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t j = lo; j < hi; ++j) {
+            const float grad = g[j] + weight_decay_ * data[j];
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+            const float m_hat = m[j] / bc1;
+            const float v_hat = v[j] / bc2;
+            data[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+          }
+        },
+        "exec/adam_step");
   }
 }
 

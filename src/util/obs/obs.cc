@@ -223,6 +223,35 @@ void EndScope() {
   AddEventLocked(state, frame.name, "phase", frame.start_us, dur, ThisTid());
 }
 
+ParallelRegionToken BeginParallelRegion(const char* tag) {
+  ParallelRegionToken token;
+  if (!TraceEnabled()) return token;
+  token.tag = tag;
+  token.launch_tid = ThisTid();
+  token.start_us = TraceNowMicros();
+  token.active = true;
+  return token;
+}
+
+void RecordParallelSlice(const ParallelRegionToken& token, double start_us,
+                         double dur_us) {
+  if (!token.active) return;
+  State& state = S();
+  std::lock_guard<std::mutex> lock(state.mu);
+  AddEventLocked(state, token.tag, "exec", start_us, dur_us, ThisTid());
+}
+
+void EndParallelRegion(const ParallelRegionToken& token) {
+  if (!token.active) return;
+  const double dur = TraceNowMicros() - token.start_us;
+  State& state = S();
+  std::lock_guard<std::mutex> lock(state.mu);
+  ScopeProfile& scope = state.scopes[token.tag];
+  scope.name = token.tag;
+  ++scope.calls;
+  scope.total_us += dur;
+}
+
 void OnTensorAlloc(int64_t bytes) {
   State& state = S();
   const int64_t live = state.live_bytes.fetch_add(bytes) + bytes;

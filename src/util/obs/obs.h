@@ -122,6 +122,36 @@ class TraceScope {
   bool active_;
 };
 
+// -- Parallel-region attribution ----------------------------------------------
+
+/// Token tying the chunk slices of one exec-layer parallel region back to
+/// the context that launched it. Created on the launching thread by
+/// BeginParallelRegion; pool workers pass it to RecordParallelSlice so
+/// their time is recorded under the region's tag (trace category "exec")
+/// instead of appearing as orphan per-thread ops — and without perturbing
+/// any thread's forward-op boundary, so MakeResult's self-time attribution
+/// on the launching thread stays correct (the region's wall time lands in
+/// the launching op's forward column).
+struct ParallelRegionToken {
+  const char* tag = nullptr;
+  int launch_tid = 0;
+  double start_us = 0.0;
+  bool active = false;
+};
+
+/// Opens a parallel region on the launching thread. Returns an inactive
+/// token (single branch, no recording) when tracing is disabled.
+ParallelRegionToken BeginParallelRegion(const char* tag);
+
+/// Records one executed chunk slice of the region, on whichever pool worker
+/// (or the caller) ran it. No-op for inactive tokens.
+void RecordParallelSlice(const ParallelRegionToken& token, double start_us,
+                         double dur_us);
+
+/// Closes the region on the launching thread: accumulates the region's wall
+/// time into the scope profile named by its tag. No-op for inactive tokens.
+void EndParallelRegion(const ParallelRegionToken& token);
+
 // -- Tensor memory accounting -------------------------------------------------
 
 /// Called by Tensor::FromImpl / ~TensorImpl when tracing is enabled; tracks

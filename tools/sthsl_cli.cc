@@ -28,6 +28,7 @@
 #include "core/sthsl_model.h"
 #include "data/generator.h"
 #include "data/stats.h"
+#include "exec/exec.h"
 #include "nn/serialization.h"
 #include "serve/bundle.h"
 #include "util/obs/obs.h"
@@ -70,6 +71,10 @@ int Usage() {
       "           ending at day T (default: end of file) through the\n"
       "           bundled model, print per-region/category forecasts\n"
       "  stats    --data FILE\n"
+      "execution (any command):\n"
+      "  --threads N         kernel thread count (default: STHSL_THREADS or\n"
+      "                      all hardware threads; results are bitwise\n"
+      "                      identical at any value)\n"
       "observability (any command):\n"
       "  --trace-out FILE    enable tracing, write chrome://tracing JSON\n"
       "  --metrics-out FILE  enable tracing, write metrics/op-profile JSON\n"
@@ -411,6 +416,11 @@ int main(int argc, char** argv) {
   for (int i = 2; i + 1 < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
     args.options[argv[i] + 2] = argv[i + 1];
+  }
+  // Kernel thread count: flag wins over the STHSL_THREADS environment
+  // variable (which the exec layer reads on first use).
+  if (args.options.count("threads")) {
+    exec::SetThreadCount(static_cast<int>(args.GetInt("threads", 0)));
   }
   // Observability flags: either one switches tracing on; the files are
   // written by the process-exit flush.

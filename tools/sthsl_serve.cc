@@ -13,6 +13,7 @@
 // also come from the environment (STHSL_SERVE_PORT etc., flags win).
 // See docs/serving.md for the full endpoint and tuning reference.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "exec/exec.h"
 #include "serve/bundle.h"
 #include "serve/engine.h"
 #include "serve/http.h"
@@ -41,15 +43,21 @@ int Usage() {
       "  --port N           TCP port; 0 picks an ephemeral port (default "
       "8080)\n"
       "  --threads N        inference worker threads (default 2)\n"
+      "  --exec-threads N   kernel threads per inference worker (default:\n"
+      "                     hardware threads / worker threads, min 1, so\n"
+      "                     workers x kernel threads never oversubscribes)\n"
       "  --max-batch N      micro-batch size bound (default 8)\n"
       "  --max-wait-us N    micro-batch wait bound in µs (default 2000)\n"
       "  --cache-entries N  LRU prediction-cache entries, 0 disables "
       "(default 1024)\n"
       "  --cache-shards N   cache lock shards (default 8)\n"
       "environment fallbacks: STHSL_SERVE_HOST, STHSL_SERVE_PORT,\n"
-      "  STHSL_SERVE_THREADS, STHSL_SERVE_MAX_BATCH, "
-      "STHSL_SERVE_MAX_WAIT_US,\n"
-      "  STHSL_SERVE_CACHE_ENTRIES, STHSL_SERVE_CACHE_SHARDS\n");
+      "  STHSL_SERVE_THREADS, STHSL_SERVE_EXEC_THREADS, "
+      "STHSL_SERVE_MAX_BATCH,\n"
+      "  STHSL_SERVE_MAX_WAIT_US, STHSL_SERVE_CACHE_ENTRIES, "
+      "STHSL_SERVE_CACHE_SHARDS\n"
+      "  (STHSL_THREADS also sets the kernel thread count; --exec-threads\n"
+      "  and STHSL_SERVE_EXEC_THREADS win over it)\n");
   return 2;
 }
 
@@ -64,16 +72,17 @@ std::string OptionOrEnv(const std::string& flag_value, const char* env_name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string bundle_dir, host, port, threads, max_batch, max_wait_us,
-      cache_entries, cache_shards;
+  std::string bundle_dir, host, port, threads, exec_threads, max_batch,
+      max_wait_us, cache_entries, cache_shards;
   struct FlagTarget {
     const char* name;
     std::string* value;
   } flags[] = {
       {"--bundle", &bundle_dir},         {"--host", &host},
       {"--port", &port},                 {"--threads", &threads},
-      {"--max-batch", &max_batch},       {"--max-wait-us", &max_wait_us},
-      {"--cache-entries", &cache_entries}, {"--cache-shards", &cache_shards},
+      {"--exec-threads", &exec_threads}, {"--max-batch", &max_batch},
+      {"--max-wait-us", &max_wait_us},   {"--cache-entries", &cache_entries},
+      {"--cache-shards", &cache_shards},
   };
   for (int i = 1; i + 1 < argc; i += 2) {
     bool known = false;
@@ -105,6 +114,21 @@ int main(int argc, char** argv) {
       OptionOrEnv(cache_entries, "STHSL_SERVE_CACHE_ENTRIES", "1024").c_str());
   config.cache_shards = std::atoll(
       OptionOrEnv(cache_shards, "STHSL_SERVE_CACHE_SHARDS", "8").c_str());
+
+  // Kernel threads compose with the batcher workers: each worker drives the
+  // shared kernel pool, so default the pool to hardware / workers to avoid
+  // oversubscription. Explicit settings (flag, STHSL_SERVE_EXEC_THREADS,
+  // then a plain STHSL_THREADS) win over the computed default.
+  const std::string exec_threads_value =
+      OptionOrEnv(exec_threads, "STHSL_SERVE_EXEC_THREADS", "");
+  if (!exec_threads_value.empty()) {
+    sthsl::exec::SetThreadCount(std::atoi(exec_threads_value.c_str()));
+  } else if (std::getenv("STHSL_THREADS") == nullptr) {
+    const int workers = std::max(1, static_cast<int>(
+        config.batcher.worker_threads));
+    sthsl::exec::SetThreadCount(
+        std::max(1, sthsl::exec::HardwareThreadCount() / workers));
+  }
 
   auto bundle_or = sthsl::serve::LoadBundle(bundle_dir);
   if (!bundle_or.ok()) {
