@@ -1,0 +1,178 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "analyze/baseline.h"
+#include "analyze/concurrency.h"
+#include "analyze/determinism.h"
+#include "analyze/headers.h"
+#include "analyze/include_graph.h"
+#include "util/json_mini.h"
+
+namespace sthsl::analyze {
+namespace {
+
+bool PassSelected(const AnalyzeOptions& options, const std::string& name) {
+  if (options.only_passes.empty()) return true;
+  return std::find(options.only_passes.begin(), options.only_passes.end(),
+                   name) != options.only_passes.end();
+}
+
+void Append(std::vector<Finding>& into, std::vector<Finding> findings) {
+  for (Finding& f : findings) into.push_back(std::move(f));
+}
+
+std::string RenderText(const AnalyzeResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << f.path;
+    if (f.line > 0) out << ":" << f.line;
+    out << ": " << SeverityName(f.severity) << " [" << f.rule << "] "
+        << f.message << "\n";
+  }
+  out << "sthsl_analyze: " << result.files_scanned << " files, "
+      << result.findings.size() << " finding(s), " << result.suppressed
+      << " suppressed\n";
+  return out.str();
+}
+
+std::string RenderJson(const AnalyzeResult& result) {
+  using json::JsonQuote;
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"path\": " << JsonQuote(f.path)
+        << ", \"line\": " << f.line << ", \"rule\": " << JsonQuote(f.rule)
+        << ", \"severity\": " << JsonQuote(SeverityName(f.severity))
+        << ", \"message\": " << JsonQuote(f.message) << "}";
+  }
+  out << (result.findings.empty() ? "]" : "\n  ]") << ",\n"
+      << "  \"files_scanned\": " << result.files_scanned << ",\n"
+      << "  \"suppressed\": " << result.suppressed << "\n}\n";
+  return out.str();
+}
+
+const char* SarifLevel(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "error";
+}
+
+std::string RenderSarif(const AnalyzeResult& result) {
+  using json::JsonQuote;
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"sthsl_analyze\",\n"
+      << "      \"informationUri\": "
+         "\"docs/correctness_tooling.md\",\n"
+      << "      \"rules\": [";
+  const auto& rules = Rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const RuleInfo& r = rules[i];
+    out << (i ? ",\n        " : "\n        ") << "{\"id\": " << JsonQuote(r.id)
+        << ", \"shortDescription\": {\"text\": " << JsonQuote(r.summary)
+        << "}, \"properties\": {\"pass\": " << JsonQuote(r.pass)
+        << "}, \"defaultConfiguration\": {\"level\": "
+        << JsonQuote(SarifLevel(r.severity)) << "}}";
+  }
+  out << "\n      ]\n    }},\n"
+      << "    \"results\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out << (i ? ",\n      " : "\n      ") << "{\"ruleId\": "
+        << JsonQuote(f.rule) << ", \"level\": "
+        << JsonQuote(SarifLevel(f.severity))
+        << ", \"message\": {\"text\": " << JsonQuote(f.message) << "}"
+        << ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": "
+        << JsonQuote(f.path) << "}, \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}}}]}";
+  }
+  out << (result.findings.empty() ? "]\n" : "\n    ]\n") << "  }]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& PassNames() {
+  static const std::vector<std::string> names = {"layering", "determinism",
+                                                 "concurrency", "headers"};
+  return names;
+}
+
+AnalyzeResult RunAnalysisOnFiles(const std::vector<SourceFile>& files,
+                                 const AnalyzeOptions& options) {
+  AnalyzeResult result;
+  result.ok = true;
+  result.files_scanned = static_cast<int>(files.size());
+  std::vector<Finding> findings;
+  if (PassSelected(options, "layering")) {
+    Append(findings, RunLayeringPass(files));
+  }
+  if (PassSelected(options, "determinism")) {
+    Append(findings, RunDeterminismPass(files));
+  }
+  if (PassSelected(options, "concurrency")) {
+    Append(findings, RunConcurrencyPass(files));
+  }
+  if (PassSelected(options, "headers")) {
+    Append(findings, RunHeaderPass(files));
+    if (options.check_self_contained && !options.root.empty()) {
+      Append(findings,
+             RunSelfContainedCheck(options.root, files, options.compiler));
+    }
+  }
+  SortFindings(findings);
+
+  if (!options.baseline_path.empty()) {
+    std::ifstream in(options.baseline_path);
+    if (!in) {
+      result.ok = false;
+      result.error = "cannot read baseline " + options.baseline_path;
+      return result;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<Finding> baseline_errors;
+    const Baseline baseline =
+        ParseBaseline(text.str(), options.baseline_path, &baseline_errors);
+    result.suppressed = ApplyBaseline(baseline, &findings);
+    Append(findings, std::move(baseline_errors));
+    SortFindings(findings);
+  }
+  result.findings = std::move(findings);
+  return result;
+}
+
+AnalyzeResult RunAnalysis(const AnalyzeOptions& options) {
+  AnalyzeResult result;
+  std::vector<SourceFile> files;
+  if (!LoadSourceTree(options.root, &files, &result.error)) {
+    result.ok = false;
+    return result;
+  }
+  return RunAnalysisOnFiles(files, options);
+}
+
+std::string RenderReport(const AnalyzeResult& result,
+                         const std::string& format) {
+  if (format == "json") return RenderJson(result);
+  if (format == "sarif") return RenderSarif(result);
+  return RenderText(result);
+}
+
+}  // namespace sthsl::analyze

@@ -1,0 +1,50 @@
+#ifndef STHSL_ANALYZE_ANALYZER_H_
+#define STHSL_ANALYZE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/source.h"
+
+namespace sthsl::analyze {
+
+struct AnalyzeOptions {
+  std::string root;            // repo root containing src/
+  std::string baseline_path;   // empty: no suppressions
+  std::string compiler = "c++";
+  bool check_self_contained = true;
+  // Empty: run every pass. Otherwise a subset of
+  // {"layering", "determinism", "concurrency", "headers"}.
+  std::vector<std::string> only_passes;
+};
+
+struct AnalyzeResult {
+  std::vector<Finding> findings;   // unsuppressed, sorted
+  int suppressed = 0;
+  int files_scanned = 0;
+  bool ok = false;                 // false: setup error (see `error`)
+  std::string error;
+};
+
+/// Runs the selected passes over `<root>/src`, applies the baseline, and
+/// returns the surviving findings sorted by path/line/rule.
+AnalyzeResult RunAnalysis(const AnalyzeOptions& options);
+
+/// Pass names accepted by AnalyzeOptions::only_passes.
+const std::vector<std::string>& PassNames();
+
+/// Same as RunAnalysis but over an in-memory tree (unit tests, fixtures
+/// already loaded). Never runs the self-containment check.
+AnalyzeResult RunAnalysisOnFiles(const std::vector<SourceFile>& files,
+                                 const AnalyzeOptions& options);
+
+/// Renders `result` in the given format. `format` is "text", "json" or
+/// "sarif"; text is the human report, the other two are machine-readable
+/// with the full rule table embedded (SARIF 2.1.0).
+std::string RenderReport(const AnalyzeResult& result,
+                         const std::string& format);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_ANALYZER_H_

@@ -1,0 +1,114 @@
+#include "analyze/baseline.h"
+
+#include <sstream>
+
+namespace sthsl::analyze {
+namespace {
+
+std::string Trim(std::string s) {
+  const size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Baseline ParseBaseline(const std::string& text, const std::string& origin,
+                       std::vector<Finding>* errors) {
+  Baseline baseline;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    // Rightmost one or two colon-separated fields are rule and count; the
+    // path itself contains no colons in this tree.
+    const size_t last = line.rfind(':');
+    if (last == std::string::npos) {
+      if (errors) {
+        errors->push_back({origin, lineno, "baseline", Severity::kError,
+                           "malformed baseline entry (want path:rule or "
+                           "path:rule:count): " + line});
+      }
+      continue;
+    }
+    std::string path, rule;
+    int count = -1;
+    const std::string tail = line.substr(last + 1);
+    const bool tail_is_count =
+        !tail.empty() && tail.find_first_not_of("0123456789") ==
+                             std::string::npos;
+    if (tail_is_count) {
+      const size_t prev = line.rfind(':', last - 1);
+      if (prev == std::string::npos) {
+        if (errors) {
+          errors->push_back({origin, lineno, "baseline", Severity::kError,
+                             "malformed baseline entry: " + line});
+        }
+        continue;
+      }
+      path = line.substr(0, prev);
+      rule = line.substr(prev + 1, last - prev - 1);
+      count = std::stoi(tail);
+    } else {
+      path = line.substr(0, last);
+      rule = tail;
+    }
+    if (path.empty() || rule.empty() || !FindRule(rule)) {
+      if (errors) {
+        errors->push_back({origin, lineno, "baseline", Severity::kError,
+                           "baseline entry names unknown rule '" + rule +
+                               "': " + line});
+      }
+      continue;
+    }
+    auto& slot = baseline.entries[{path, rule}];
+    if (count < 0) {
+      slot = -1;
+    } else if (slot != -1) {
+      slot += count;
+    }
+  }
+  return baseline;
+}
+
+int ApplyBaseline(const Baseline& baseline, std::vector<Finding>* findings) {
+  std::map<std::pair<std::string, std::string>, int> remaining =
+      baseline.entries;
+  std::vector<Finding> kept;
+  int suppressed = 0;
+  for (Finding& f : *findings) {
+    const auto it = remaining.find({f.path, f.rule});
+    if (it != remaining.end() && (it->second == -1 || it->second > 0)) {
+      if (it->second > 0) --it->second;
+      ++suppressed;
+      continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  findings->swap(kept);
+  return suppressed;
+}
+
+std::string RenderBaseline(const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : findings) ++counts[{f.path, f.rule}];
+  std::ostringstream out;
+  out << "# sthsl_analyze baseline: grandfathered findings, one\n"
+         "# `<path>:<rule>:<count>` per line (count = number of suppressed\n"
+         "# instances; a new instance overflows the count and fails).\n"
+         "# Regenerate with `sthsl_analyze <root> --fix-baseline`; prefer\n"
+         "# fixing the code and keeping this file short. Each entry should\n"
+         "# carry a justification comment. See docs/correctness_tooling.md.\n";
+  for (const auto& [key, count] : counts) {
+    out << key.first << ":" << key.second << ":" << count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sthsl::analyze

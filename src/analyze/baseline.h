@@ -1,0 +1,43 @@
+#ifndef STHSL_ANALYZE_BASELINE_H_
+#define STHSL_ANALYZE_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/finding.h"
+
+namespace sthsl::analyze {
+
+/// Baseline suppression file. One entry per line:
+///
+///   <path>:<rule>            # suppress every instance in the file
+///   <path>:<rule>:<count>    # suppress at most <count> instances
+///
+/// `#` starts a comment; blank lines are skipped. The counted form is what
+/// `--fix-baseline` writes: a new instance of a baselined rule in the same
+/// file then overflows the count and still fails the build.
+struct Baseline {
+  // (path, rule) -> allowed count; -1 means unlimited.
+  std::map<std::pair<std::string, std::string>, int> entries;
+};
+
+/// Parses `text` (the baseline file contents). Malformed lines are
+/// reported via `errors` as file-level findings against `origin`.
+Baseline ParseBaseline(const std::string& text, const std::string& origin,
+                       std::vector<Finding>* errors);
+
+/// Splits `findings` into reported and suppressed according to the
+/// baseline. Findings are consumed in order, so with a counted entry the
+/// first <count> instances (by position) are suppressed and the rest
+/// reported. Returns the number suppressed.
+int ApplyBaseline(const Baseline& baseline, std::vector<Finding>* findings);
+
+/// Renders the baseline file that would suppress exactly `findings`
+/// (counted entries, sorted, with a generated header comment).
+std::string RenderBaseline(const std::vector<Finding>& findings);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_BASELINE_H_

@@ -1,0 +1,192 @@
+#include "analyze/concurrency.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analyze/lexer.h"
+#include "analyze/token_util.h"
+
+namespace sthsl::analyze {
+namespace {
+
+// `error_mu` -> "error", `conn_mu_` -> "conn"; empty when the name does not
+// follow the convention (a bare `mu`/`mu_` guards by comment, not by name,
+// and is exempt from the prefix rules).
+std::string GuardPrefix(const std::string& name) {
+  std::string base = name;
+  if (!base.empty() && base.back() == '_') base.pop_back();
+  constexpr const char* kSuffix = "_mu";
+  if (base.size() <= 3 || base.compare(base.size() - 3, 3, kSuffix) != 0) {
+    return "";
+  }
+  return base.substr(0, base.size() - 3);
+}
+
+// Mutex members/locals declared in this file whose names follow the `_mu`
+// convention: maps mutex name -> guard prefix.
+std::map<std::string, std::string> ConventionMutexes(
+    const std::vector<Token>& tokens) {
+  static const std::set<std::string> kMutexTypes = {
+      "mutex", "recursive_mutex", "timed_mutex", "shared_mutex"};
+  std::map<std::string, std::string> mutexes;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        !kMutexTypes.count(tokens[i].text)) {
+      continue;
+    }
+    const Token& next = tokens[i + 1];
+    if (next.kind != TokenKind::kIdentifier) continue;
+    const std::string prefix = GuardPrefix(next.text);
+    if (!prefix.empty()) mutexes[next.text] = prefix;
+  }
+  return mutexes;
+}
+
+// Does `ident` fall under the guard of `prefix`? Exactly the prefix, or
+// prefix + "_..." (so conn guards conn_threads_ but not connection_id).
+bool IsGuardedName(const std::string& ident, const std::string& prefix,
+                   const std::string& mutex_name) {
+  if (ident == mutex_name) return false;
+  if (ident == prefix || ident == prefix + "_") return true;
+  return ident.size() > prefix.size() + 1 &&
+         ident.compare(0, prefix.size() + 1, prefix + "_") == 0;
+}
+
+void CheckManualLocking(const SourceFile& file,
+                        const std::vector<Token>& tokens,
+                        const std::map<std::string, std::string>& mutexes,
+                        std::vector<Finding>& out) {
+  static const std::set<std::string> kManual = {"lock", "unlock", "try_lock",
+                                                "try_lock_for"};
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier || !mutexes.count(t.text)) continue;
+    if (!tokens[i + 1].IsPunct(".") && !tokens[i + 1].IsPunct("->")) continue;
+    const Token& method = tokens[i + 2];
+    if (method.kind == TokenKind::kIdentifier && kManual.count(method.text)) {
+      out.push_back(
+          {file.path, t.line, "mutex-guard", Severity::kError,
+           t.text + "." + method.text + "() — manual lock management on a "
+           "convention mutex; use std::lock_guard or std::unique_lock so "
+           "every exit path releases it"});
+    }
+  }
+}
+
+void CheckGuardedFields(const SourceFile& file,
+                        const std::vector<Token>& tokens,
+                        const std::map<std::string, std::string>& mutexes,
+                        std::vector<Finding>& out) {
+  for (const FunctionBody& body : FindFunctionBodies(tokens)) {
+    std::set<std::string> locked;
+    for (const LockSite& site :
+         FindLockSites(tokens, body.body_begin, body.body_end)) {
+      for (const std::string& name : site.mutexes) locked.insert(name);
+    }
+    for (size_t i = body.body_begin; i < body.body_end; ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      for (const auto& [mutex_name, prefix] : mutexes) {
+        if (!IsGuardedName(t.text, prefix, mutex_name)) continue;
+        if (locked.count(mutex_name)) continue;
+        out.push_back(
+            {file.path, t.line, "guarded-field", Severity::kError,
+             "'" + t.text + "' is guarded by '" + mutex_name +
+                 "' by naming convention, but this function constructs no "
+                 "lock on it; take a std::lock_guard<std::mutex> first"});
+        break;  // one finding per use site even if prefixes overlap
+      }
+    }
+  }
+}
+
+struct HeldLock {
+  std::string name;
+  int depth;
+  size_t site;  // index into the site list, to skip same-site pairs
+};
+
+void CheckLockOrder(const SourceFile& file, const std::vector<Token>& tokens,
+                    std::vector<Finding>& out) {
+  // Ordered pair (first-acquired, then-acquired) -> one observed location.
+  std::map<std::pair<std::string, std::string>, std::pair<int, std::string>>
+      pairs;
+  for (const FunctionBody& body : FindFunctionBodies(tokens)) {
+    const std::vector<LockSite> sites =
+        FindLockSites(tokens, body.body_begin, body.body_end);
+    std::vector<HeldLock> held;
+    size_t next_site = 0;
+    int depth = 0;
+    for (size_t i = body.body_begin; i < body.body_end; ++i) {
+      if (tokens[i].IsPunct("{")) ++depth;
+      if (tokens[i].IsPunct("}")) {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      if (next_site < sites.size() && sites[next_site].token_index == i) {
+        const LockSite& site = sites[next_site];
+        for (const std::string& name : site.mutexes) {
+          for (const HeldLock& outer : held) {
+            if (outer.name == name || outer.site == next_site) continue;
+            pairs.insert({{outer.name, name},
+                          {site.line, outer.name + " then " + name}});
+          }
+          held.push_back({name, depth, next_site});
+        }
+        ++next_site;
+      }
+    }
+  }
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const auto& [pair, where] : pairs) {
+    const std::pair<std::string, std::string> inverse{pair.second, pair.first};
+    if (!pairs.count(inverse)) continue;
+    // Report each unordered pair once, at the lexicographically later edge.
+    const auto key = pair.first < pair.second ? pair : inverse;
+    if (!reported.insert(key).second) continue;
+    const auto& other = pairs.at(inverse);
+    out.push_back(
+        {file.path, where.first, "lock-order", Severity::kError,
+         "lock-order inversion: this function acquires " + pair.first +
+             " then " + pair.second + ", but line " +
+             std::to_string(other.first) + " acquires " + pair.second +
+             " then " + pair.first + "; pick one order"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunConcurrencyPass(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  // A .cc file inherits the mutex conventions its paired header declares
+  // (conn_mu_ lives in http.h, the lock sites in http.cc).
+  std::map<std::string, std::map<std::string, std::string>> header_mutexes;
+  for (const SourceFile& file : files) {
+    if (file.IsHeader()) {
+      header_mutexes[file.path] = ConventionMutexes(Lex(file.text));
+    }
+  }
+  for (const SourceFile& file : files) {
+    if (file.Layer().empty()) continue;
+    const std::vector<Token> tokens = Lex(file.text);
+    std::map<std::string, std::string> mutexes = ConventionMutexes(tokens);
+    if (!file.IsHeader() && file.path.size() > 3) {
+      const std::string header =
+          file.path.substr(0, file.path.size() - 3) + ".h";
+      const auto it = header_mutexes.find(header);
+      if (it != header_mutexes.end()) {
+        mutexes.insert(it->second.begin(), it->second.end());
+      }
+    }
+    if (!mutexes.empty()) {
+      CheckManualLocking(file, tokens, mutexes, findings);
+      CheckGuardedFields(file, tokens, mutexes, findings);
+    }
+    CheckLockOrder(file, tokens, findings);
+  }
+  return findings;
+}
+
+}  // namespace sthsl::analyze

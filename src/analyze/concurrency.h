@@ -1,0 +1,24 @@
+#ifndef STHSL_ANALYZE_CONCURRENCY_H_
+#define STHSL_ANALYZE_CONCURRENCY_H_
+
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/source.h"
+
+namespace sthsl::analyze {
+
+/// Concurrency-hygiene pass, applied to all of src/:
+///   - mutex-guard: a mutex whose name follows the `_mu` suffix convention
+///     (error_mu, conn_mu_) is locked only through RAII
+///     (lock_guard/unique_lock/scoped_lock), never .lock()/.unlock();
+///   - guarded-field: identifiers sharing the mutex's name prefix
+///     (conn_mu_ guards conn_threads_) are only touched inside function
+///     bodies that construct a lock on that mutex;
+///   - lock-order: within a file, two named mutexes nested in both orders
+///     (A then B in one function, B then A in another) is an inversion.
+std::vector<Finding> RunConcurrencyPass(const std::vector<SourceFile>& files);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_CONCURRENCY_H_

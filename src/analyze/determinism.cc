@@ -1,0 +1,239 @@
+#include "analyze/determinism.h"
+
+#include <set>
+#include <string>
+
+#include "analyze/lexer.h"
+#include "analyze/token_util.h"
+
+namespace sthsl::analyze {
+namespace {
+
+const std::set<std::string>& ThreadExemptLayers() {
+  static const std::set<std::string> layers = {"exec", "serve"};
+  return layers;
+}
+
+const std::set<std::string>& KernelLayers() {
+  static const std::set<std::string> layers = {"tensor", "nn", "core"};
+  return layers;
+}
+
+const std::set<std::string>& FloatOrderLayers() {
+  static const std::set<std::string> layers = {"tensor", "nn", "core",
+                                               "metrics", "data"};
+  return layers;
+}
+
+bool NextIs(const std::vector<Token>& tokens, size_t i, const char* punct) {
+  return i + 1 < tokens.size() && tokens[i + 1].IsPunct(punct);
+}
+
+bool PrevIsStdQualifier(const std::vector<Token>& tokens, size_t i) {
+  return i >= 2 && tokens[i - 1].IsPunct("::") && tokens[i - 2].IsIdent("std");
+}
+
+void CheckThreadRule(const SourceFile& file, const std::vector<Token>& tokens,
+                     std::vector<Finding>& out) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kDirective && t.text == "pragma" &&
+        i + 1 < tokens.size() && tokens[i + 1].IsIdent("omp")) {
+      out.push_back({file.path, t.line, "det-thread", Severity::kError,
+                     "OpenMP pragma outside src/exec/ and src/serve/ — "
+                     "parallelize through sthsl::exec::ParallelFor so "
+                     "chunking stays deterministic"});
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if ((t.text == "thread" || t.text == "jthread" || t.text == "async") &&
+        PrevIsStdQualifier(tokens, i)) {
+      // `std::thread::hardware_concurrency` style nested-name uses count
+      // too: any reach into std::thread machinery is a contract breach.
+      out.push_back({file.path, t.line, "det-thread", Severity::kError,
+                     "std::" + t.text +
+                         " outside src/exec/ and src/serve/ — kernels "
+                         "parallelize through sthsl::exec"});
+      continue;
+    }
+    if (t.text == "pthread_create" || t.text == "thrd_create") {
+      out.push_back({file.path, t.line, "det-thread", Severity::kError,
+                     t.text + " outside src/exec/ and src/serve/"});
+      continue;
+    }
+    if (t.text == "detach" && NextIs(tokens, i, "(") && i > 0 &&
+        (tokens[i - 1].IsPunct(".") || tokens[i - 1].IsPunct("->"))) {
+      out.push_back({file.path, t.line, "det-thread", Severity::kError,
+                     "detach() outside src/exec/ and src/serve/ — detached "
+                     "threads outlive the region that spawned them and "
+                     "escape the determinism contract"});
+    }
+  }
+}
+
+void CheckRandAndTimeRules(const SourceFile& file,
+                           const std::vector<Token>& tokens,
+                           std::vector<Finding>& out) {
+  static const std::set<std::string> kRandCalls = {"rand", "srand", "rand_r",
+                                                   "drand48", "srandom",
+                                                   "random"};
+  static const std::set<std::string> kRandTypes = {"random_device"};
+  static const std::set<std::string> kTimeCalls = {
+      "time", "clock", "gettimeofday", "clock_gettime", "localtime",
+      "gmtime", "ftime"};
+  static const std::set<std::string> kTimeTypes = {"system_clock",
+                                                   "high_resolution_clock"};
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    // Member accesses like obj.time(...) are not the libc call.
+    const bool member_access =
+        i > 0 && (tokens[i - 1].IsPunct(".") || tokens[i - 1].IsPunct("->"));
+    if (kRandCalls.count(t.text) && NextIs(tokens, i, "(") &&
+        !member_access) {
+      out.push_back({file.path, t.line, "det-rand", Severity::kError,
+                     t.text + "() in kernel code — draw from the seeded "
+                     "sthsl::Rng (util/rng.h) instead"});
+      continue;
+    }
+    if (kRandTypes.count(t.text)) {
+      out.push_back({file.path, t.line, "det-rand", Severity::kError,
+                     "std::" + t.text + " in kernel code — entropy sources "
+                     "make runs irreproducible; use a seeded sthsl::Rng"});
+      continue;
+    }
+    if (kTimeCalls.count(t.text) && NextIs(tokens, i, "(") &&
+        !member_access) {
+      out.push_back({file.path, t.line, "det-time", Severity::kError,
+                     t.text + "() in kernel code — results must not depend "
+                     "on the wall clock (telemetry timing belongs in "
+                     "util/obs)"});
+      continue;
+    }
+    if (kTimeTypes.count(t.text)) {
+      out.push_back({file.path, t.line, "det-time", Severity::kError,
+                     "std::chrono::" + t.text + " in kernel code — use "
+                     "sthsl::Timer (steady_clock) in the obs layer for "
+                     "timing, never in a data path"});
+    }
+  }
+}
+
+// Names declared in this file as std::unordered_{map,set,multimap,multiset}
+// variables or members: `unordered_map<K, V> name` (template arguments
+// skipped, `*`/`&` tolerated).
+std::set<std::string> UnorderedContainerNames(
+    const std::vector<Token>& tokens) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string> names;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        !kUnordered.count(tokens[i].text)) {
+      continue;
+    }
+    size_t j = i + 1;
+    const size_t after_angles = SkipAngles(tokens, j, tokens.size());
+    if (after_angles == j) continue;  // no template argument list
+    j = after_angles;
+    while (j < tokens.size() &&
+           (tokens[j].IsPunct("*") || tokens[j].IsPunct("&"))) {
+      ++j;
+    }
+    if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+      names.insert(tokens[j].text);
+    }
+  }
+  return names;
+}
+
+// Token range of a loop body: after the range-for's closing paren, either
+// a braced block or a single statement up to `;`.
+std::pair<size_t, size_t> LoopBodyRange(const std::vector<Token>& tokens,
+                                        size_t after_paren, size_t end) {
+  if (after_paren < end && tokens[after_paren].IsPunct("{")) {
+    int depth = 0;
+    for (size_t j = after_paren; j < end; ++j) {
+      if (tokens[j].IsPunct("{")) ++depth;
+      if (tokens[j].IsPunct("}")) --depth;
+      if (depth == 0) return {after_paren + 1, j};
+    }
+    return {after_paren + 1, end};
+  }
+  for (size_t j = after_paren; j < end; ++j) {
+    if (tokens[j].IsPunct(";")) return {after_paren, j};
+  }
+  return {after_paren, end};
+}
+
+bool ContainsAccumulation(const std::vector<Token>& tokens, size_t begin,
+                          size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    if (tokens[i].IsPunct("+=") || tokens[i].IsPunct("-=")) return true;
+  }
+  return false;
+}
+
+void CheckUnorderedIterationRule(const SourceFile& file,
+                                 const std::vector<Token>& tokens,
+                                 std::vector<Finding>& out) {
+  const std::set<std::string> unordered = UnorderedContainerNames(tokens);
+  if (unordered.empty()) return;
+  for (const FunctionBody& body : FindFunctionBodies(tokens)) {
+    for (size_t i = body.body_begin; i < body.body_end; ++i) {
+      if (!tokens[i].IsIdent("for") || !NextIs(tokens, i, "(")) continue;
+      const size_t open = i + 1;
+      const size_t close = SkipParens(tokens, open, body.body_end);
+      // Range-for: a `:` at paren depth 1. The container expression's last
+      // identifier is the name we match against the unordered set.
+      int depth = 0;
+      size_t colon = 0;
+      for (size_t j = open; j < close; ++j) {
+        if (tokens[j].IsPunct("(")) ++depth;
+        if (tokens[j].IsPunct(")")) --depth;
+        if (depth == 1 && tokens[j].IsPunct(":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      std::string container;
+      for (size_t j = colon + 1; j + 1 < close; ++j) {
+        if (tokens[j].kind == TokenKind::kIdentifier) container = tokens[j].text;
+      }
+      if (container.empty() || !unordered.count(container)) continue;
+      const auto [loop_begin, loop_end] =
+          LoopBodyRange(tokens, close, body.body_end);
+      if (ContainsAccumulation(tokens, loop_begin, loop_end)) {
+        out.push_back(
+            {file.path, tokens[i].line, "det-unordered-iter", Severity::kError,
+             "range-for over unordered container '" + container +
+                 "' accumulates in hash order — iterate a sorted view (or "
+                 "an index vector) so float additions keep a fixed order"});
+      }
+      i = close > i ? close - 1 : i;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunDeterminismPass(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    const std::string layer = file.Layer();
+    if (layer.empty()) continue;
+    const bool check_threads = !ThreadExemptLayers().count(layer);
+    const bool check_rand_time = KernelLayers().count(layer) > 0;
+    const bool check_unordered = FloatOrderLayers().count(layer) > 0;
+    if (!check_threads && !check_rand_time && !check_unordered) continue;
+    const std::vector<Token> tokens = Lex(file.text);
+    if (check_threads) CheckThreadRule(file, tokens, findings);
+    if (check_rand_time) CheckRandAndTimeRules(file, tokens, findings);
+    if (check_unordered) CheckUnorderedIterationRule(file, tokens, findings);
+  }
+  return findings;
+}
+
+}  // namespace sthsl::analyze

@@ -1,0 +1,24 @@
+#ifndef STHSL_ANALYZE_DETERMINISM_H_
+#define STHSL_ANALYZE_DETERMINISM_H_
+
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/source.h"
+
+namespace sthsl::analyze {
+
+/// Determinism-contract pass (docs/performance.md): kernels must be
+/// bitwise-reproducible at any thread count, so
+///   - raw threading primitives are confined to src/exec/ and src/serve/
+///     (rule det-thread);
+///   - ambient randomness and wall-clock reads are banned from the kernel
+///     layers tensor/nn/core (rules det-rand, det-time);
+///   - no function in tensor/nn/core/metrics/data may iterate an unordered
+///     container while accumulating floating-point state — hash order would
+///     reorder the float additions (rule det-unordered-iter).
+std::vector<Finding> RunDeterminismPass(const std::vector<SourceFile>& files);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_DETERMINISM_H_

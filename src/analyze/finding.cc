@@ -1,0 +1,94 @@
+#include "analyze/finding.h"
+
+#include <algorithm>
+
+namespace sthsl::analyze {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "error";
+}
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> rules = {
+      // Layering pass.
+      {"layer-dag", Severity::kError, "layering",
+       "src/ layers form a DAG: util -> exec -> tensor -> nn/metrics -> "
+       "data -> core -> baselines -> serve; an include may only reach its "
+       "own layer or one below it"},
+      {"include-cycle", Severity::kError, "layering",
+       "no cyclic quoted-include chains between src/ files"},
+      {"unknown-layer", Severity::kError, "layering",
+       "every src/ subdirectory must be registered in the layer table "
+       "(src/analyze/include_graph.cc) before code lands there"},
+
+      // Determinism-contract pass (docs/performance.md).
+      {"det-thread", Severity::kError, "determinism",
+       "raw threading (std::thread/std::async/detach/OpenMP/pthreads) is "
+       "confined to src/exec/ and src/serve/; kernels parallelize through "
+       "sthsl::exec so chunking stays bitwise-deterministic"},
+      {"det-rand", Severity::kError, "determinism",
+       "no ambient randomness (rand/srand/random_device) in tensor/nn/core "
+       "kernel code; randomness flows through seeded sthsl::Rng"},
+      {"det-time", Severity::kError, "determinism",
+       "no wall-clock reads (time/clock_gettime/system_clock/...) in "
+       "tensor/nn/core kernel code; results must not depend on when they "
+       "run"},
+      {"det-unordered-iter", Severity::kError, "determinism",
+       "no iteration over unordered containers in a function that "
+       "accumulates floating-point state: hash-order iteration reorders "
+       "float additions and breaks bitwise reproducibility"},
+
+      // Concurrency-hygiene pass.
+      {"mutex-guard", Severity::kError, "concurrency",
+       "mutexes following the `_mu` naming convention are locked only via "
+       "std::lock_guard/unique_lock/scoped_lock, never .lock()/.unlock()"},
+      {"guarded-field", Severity::kError, "concurrency",
+       "a field sharing the name prefix of a `_mu`-suffixed mutex is only "
+       "touched in functions that construct a lock on that mutex"},
+      {"lock-order", Severity::kError, "concurrency",
+       "named mutex pairs are always acquired in one order within a file; "
+       "both A->B and B->A nestings is a deadlock waiting for contention"},
+
+      // Header-hygiene pass (carried over from sthsl_lint).
+      {"include-guard", Severity::kError, "headers",
+       "header guards are path-derived (src/tensor/ops.h -> "
+       "STHSL_TENSOR_OPS_H_) with the #define immediately following"},
+      {"bare-assert", Severity::kError, "headers",
+       "no bare assert(); STHSL_CHECK carries file/line/message and fires "
+       "in release builds"},
+      {"const-cast", Severity::kError, "headers",
+       "no const_cast under src/; expose a mutable accessor instead"},
+      {"reinterpret-cast", Severity::kError, "headers",
+       "reinterpret_cast only at vetted byte-I/O boundaries, each carried "
+       "as a baseline entry"},
+      {"self-contained", Severity::kError, "headers",
+       "every header compiles standalone ($CXX -std=c++20 -fsyntax-only)"},
+  };
+  return rules;
+}
+
+const RuleInfo* FindRule(const std::string& id) {
+  for (const RuleInfo& rule : Rules()) {
+    if (id == rule.id) return &rule;
+  }
+  return nullptr;
+}
+
+void SortFindings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+}  // namespace sthsl::analyze

@@ -1,0 +1,44 @@
+#ifndef STHSL_ANALYZE_FINDING_H_
+#define STHSL_ANALYZE_FINDING_H_
+
+#include <string>
+#include <vector>
+
+namespace sthsl::analyze {
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity s);
+
+/// One diagnostic. `path` is repo-root-relative with forward slashes;
+/// `line` is 1-based, 0 for file-level findings.
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Static description of a rule, used for the SARIF rule table and the
+/// documentation catalog. Severities are fixed per rule; the baseline file
+/// is the only suppression mechanism.
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* pass;  // "layering" | "determinism" | "concurrency" | "headers"
+  const char* summary;
+};
+
+/// Every rule the analyzer can emit, in catalog order.
+const std::vector<RuleInfo>& Rules();
+
+/// nullptr when `id` is not a known rule.
+const RuleInfo* FindRule(const std::string& id);
+
+/// Stable ordering for reports: path, then line, then rule.
+void SortFindings(std::vector<Finding>& findings);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_FINDING_H_

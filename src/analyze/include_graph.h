@@ -1,0 +1,37 @@
+#ifndef STHSL_ANALYZE_INCLUDE_GRAPH_H_
+#define STHSL_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/source.h"
+
+namespace sthsl::analyze {
+
+/// One `#include "..."` edge between src/ files. `target` is normalized to
+/// the includer-root-relative form used in this repo ("tensor/ops.h").
+struct IncludeEdge {
+  std::string from;    // repo-relative path of the including file
+  int line = 0;
+  std::string target;  // quoted include text, src-relative
+};
+
+/// Extracts every quoted-include edge, in file order. Angle includes are
+/// system headers and carry no layering information, so they are skipped.
+std::vector<IncludeEdge> ExtractIncludeEdges(
+    const std::vector<SourceFile>& files);
+
+/// The layer table: maps a src/ subdirectory to the set of subdirectories
+/// it may include (always containing itself and "util"). The analyzer
+/// layer sits beside exec: both depend only on util.
+const std::map<std::string, std::vector<std::string>>& LayerTable();
+
+/// Layering pass: enforces the layer DAG on every quoted include and
+/// reports cyclic include chains among src/ files.
+std::vector<Finding> RunLayeringPass(const std::vector<SourceFile>& files);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_INCLUDE_GRAPH_H_

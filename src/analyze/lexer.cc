@@ -1,0 +1,349 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+
+namespace sthsl::analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Character cursor over the source text that splices line continuations
+// (backslash followed by newline, optionally with a carriage return) and
+// keeps the physical line number current. Raw string bodies bypass the
+// splicing via RawGet().
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return SplicedPos(pos_) >= text_.size(); }
+
+  // Current character after splices; '\0' at end.
+  char Peek() const { return CharAt(SplicedPos(pos_)); }
+
+  char PeekAhead(size_t n) const {
+    size_t p = SplicedPos(pos_);
+    for (size_t i = 0; i < n && p < text_.size(); ++i) {
+      p = SplicedPos(p + 1);
+    }
+    return CharAt(p);
+  }
+
+  // Consumes and returns the current (spliced) character.
+  char Get() {
+    SkipSplices();
+    if (pos_ >= text_.size()) return '\0';
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  // Consumes one character with NO splice processing (raw string bodies,
+  // where a backslash-newline is two literal characters).
+  char RawGet() {
+    if (pos_ >= text_.size()) return '\0';
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool RawAtEnd() const { return pos_ >= text_.size(); }
+  char RawPeek() const { return CharAt(pos_); }
+
+  int line() const { return line_; }
+
+ private:
+  char CharAt(size_t p) const { return p < text_.size() ? text_[p] : '\0'; }
+
+  // Skips any run of backslash-newline splices starting at p. Does not
+  // mutate state; Get() re-derives the skip so line counting stays exact.
+  size_t SplicedPos(size_t p) const {
+    for (;;) {
+      if (p < text_.size() && text_[p] == '\\') {
+        size_t q = p + 1;
+        if (q < text_.size() && text_[q] == '\r') ++q;
+        if (q < text_.size() && text_[q] == '\n') {
+          p = q + 1;
+          continue;
+        }
+      }
+      return p;
+    }
+  }
+
+  // Mutating twin of SplicedPos: advances pos_ over splices while counting
+  // the newlines they hide, so line numbers track physical lines.
+  void SkipSplices() {
+    for (;;) {
+      if (pos_ < text_.size() && text_[pos_] == '\\') {
+        size_t q = pos_ + 1;
+        if (q < text_.size() && text_[q] == '\r') ++q;
+        if (q < text_.size() && text_[q] == '\n') {
+          pos_ = q + 1;
+          ++line_;
+          continue;
+        }
+      }
+      return;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// Multi-character punctuation, checked longest-first.
+constexpr const char* kPunct3[] = {"<<=", ">>=", "...", "->*"};
+constexpr const char* kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                                   "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                                   "%=", "&=", "|=", "^=", "++", "--", "##",
+                                   ".*"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : cur_(text) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    bool at_line_start = true;
+    bool in_include_directive = false;
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Peek();
+      if (c == '\n') {
+        cur_.Get();
+        at_line_start = true;
+        in_include_directive = false;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        cur_.Get();
+        continue;
+      }
+      if (c == '/' && cur_.PeekAhead(1) == '/') {
+        SkipLineComment();
+        continue;
+      }
+      if (c == '/' && cur_.PeekAhead(1) == '*') {
+        SkipBlockComment();
+        continue;  // a block comment does not end the logical line
+      }
+      if (c == '#' && at_line_start) {
+        const Token directive = LexDirective();
+        in_include_directive = directive.text == "include" ||
+                               directive.text == "include_next";
+        tokens.push_back(directive);
+        at_line_start = false;
+        continue;
+      }
+      at_line_start = false;
+      if (in_include_directive && c == '<') {
+        tokens.push_back(LexHeaderName());
+        in_include_directive = false;
+        continue;
+      }
+      if (c == '"') {
+        tokens.push_back(LexString(/*raw=*/false));
+        continue;
+      }
+      if (c == '\'') {
+        tokens.push_back(LexCharLiteral());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(
+                           cur_.PeekAhead(1))))) {
+        tokens.push_back(LexNumber());
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        tokens.push_back(LexIdentifierOrPrefixedString());
+        continue;
+      }
+      tokens.push_back(LexPunct());
+    }
+    return tokens;
+  }
+
+ private:
+  void SkipLineComment() {
+    // The splice-aware Get() makes a backslash-continued // comment swallow
+    // the next physical line too, matching the preprocessor.
+    while (!cur_.AtEnd() && cur_.Peek() != '\n') cur_.Get();
+  }
+
+  void SkipBlockComment() {
+    cur_.Get();  // '/'
+    cur_.Get();  // '*'
+    while (!cur_.AtEnd()) {
+      if (cur_.Peek() == '*' && cur_.PeekAhead(1) == '/') {
+        cur_.Get();
+        cur_.Get();
+        return;
+      }
+      cur_.Get();
+    }
+  }
+
+  Token LexDirective() {
+    const int line = cur_.line();
+    cur_.Get();  // '#'
+    while (!cur_.AtEnd() && (cur_.Peek() == ' ' || cur_.Peek() == '\t')) {
+      cur_.Get();
+    }
+    std::string name;
+    while (!cur_.AtEnd() && IsIdentChar(cur_.Peek())) name += cur_.Get();
+    return {TokenKind::kDirective, std::move(name), line};
+  }
+
+  Token LexHeaderName() {
+    const int line = cur_.line();
+    cur_.Get();  // '<'
+    std::string name;
+    while (!cur_.AtEnd() && cur_.Peek() != '>' && cur_.Peek() != '\n') {
+      name += cur_.Get();
+    }
+    if (cur_.Peek() == '>') cur_.Get();
+    return {TokenKind::kHeaderName, std::move(name), line};
+  }
+
+  Token LexString(bool raw) {
+    return raw ? LexRawString() : LexPlainString();
+  }
+
+  Token LexPlainString() {
+    const int line = cur_.line();
+    cur_.Get();  // opening quote
+    std::string text;
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Get();
+      if (c == '\\') {
+        text += c;
+        if (!cur_.AtEnd()) text += cur_.Get();
+        continue;
+      }
+      if (c == '"' || c == '\n') break;  // newline: unterminated, recover
+      text += c;
+    }
+    return {TokenKind::kString, std::move(text), line};
+  }
+
+  // R"delim(...)delim" — the body is read verbatim: no escapes, no line
+  // splicing (a trailing backslash before a newline is two body chars).
+  Token LexRawString() {
+    const int line = cur_.line();
+    cur_.Get();  // opening quote
+    std::string delim;
+    while (!cur_.RawAtEnd() && cur_.RawPeek() != '(') delim += cur_.RawGet();
+    if (!cur_.RawAtEnd()) cur_.RawGet();  // '('
+    const std::string terminator = ")" + delim + "\"";
+    std::string body;
+    while (!cur_.RawAtEnd()) {
+      body += cur_.RawGet();
+      if (body.size() >= terminator.size() &&
+          body.compare(body.size() - terminator.size(), terminator.size(),
+                       terminator) == 0) {
+        body.erase(body.size() - terminator.size());
+        return {TokenKind::kString, std::move(body), line};
+      }
+    }
+    return {TokenKind::kString, std::move(body), line};  // unterminated
+  }
+
+  Token LexCharLiteral() {
+    const int line = cur_.line();
+    cur_.Get();  // opening quote
+    std::string text;
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Get();
+      if (c == '\\') {
+        text += c;
+        if (!cur_.AtEnd()) text += cur_.Get();
+        continue;
+      }
+      if (c == '\'' || c == '\n') break;
+      text += c;
+    }
+    return {TokenKind::kChar, std::move(text), line};
+  }
+
+  Token LexNumber() {
+    const int line = cur_.line();
+    std::string text;
+    text += cur_.Get();
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Peek();
+      if (IsIdentChar(c) || c == '.') {
+        text += cur_.Get();
+        // Exponent signs continue the pp-number: 1e-3, 0x1p+4.
+        const char last = text.back();
+        if ((last == 'e' || last == 'E' || last == 'p' || last == 'P') &&
+            (cur_.Peek() == '+' || cur_.Peek() == '-')) {
+          text += cur_.Get();
+        }
+        continue;
+      }
+      // Digit separator: 1'000 — only when followed by an alphanumeric,
+      // so a char literal right after a number is not swallowed.
+      if (c == '\'' && IsIdentChar(cur_.PeekAhead(1))) {
+        text += cur_.Get();
+        continue;
+      }
+      break;
+    }
+    return {TokenKind::kNumber, std::move(text), line};
+  }
+
+  Token LexIdentifierOrPrefixedString() {
+    const int line = cur_.line();
+    std::string text;
+    while (!cur_.AtEnd() && IsIdentChar(cur_.Peek())) text += cur_.Get();
+    if (cur_.Peek() == '"') {
+      // Encoding / raw prefixes glue onto the literal: u8R"(x)", L"x", ...
+      const bool raw = !text.empty() && text.back() == 'R';
+      const std::string prefix = raw ? text.substr(0, text.size() - 1) : text;
+      const bool known_prefix = prefix.empty() || prefix == "u8" ||
+                                prefix == "u" || prefix == "U" || prefix == "L";
+      if (known_prefix) return LexString(raw);
+    }
+    if (cur_.Peek() == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      return LexCharLiteral();
+    }
+    return {TokenKind::kIdentifier, std::move(text), line};
+  }
+
+  Token LexPunct() {
+    const int line = cur_.line();
+    for (const char* op : kPunct3) {
+      if (cur_.Peek() == op[0] && cur_.PeekAhead(1) == op[1] &&
+          cur_.PeekAhead(2) == op[2]) {
+        cur_.Get();
+        cur_.Get();
+        cur_.Get();
+        return {TokenKind::kPunct, op, line};
+      }
+    }
+    for (const char* op : kPunct2) {
+      if (cur_.Peek() == op[0] && cur_.PeekAhead(1) == op[1]) {
+        cur_.Get();
+        cur_.Get();
+        return {TokenKind::kPunct, op, line};
+      }
+    }
+    return {TokenKind::kPunct, std::string(1, cur_.Get()), line};
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view text) { return Lexer(text).Run(); }
+
+}  // namespace sthsl::analyze

@@ -1,0 +1,48 @@
+#ifndef STHSL_ANALYZE_LEXER_H_
+#define STHSL_ANALYZE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sthsl::analyze {
+
+/// Token kinds produced by Lex(). The lexer is a lightweight C++ tokenizer:
+/// it understands comments, string/char literals (including raw strings and
+/// encoding prefixes), line continuations, preprocessor directives, and the
+/// multi-character operators — enough for structural analysis, not a full
+/// phase-7 translator.
+enum class TokenKind {
+  kIdentifier,  // foo, std, reinterpret_cast
+  kNumber,      // pp-number: 42, 0x1f, 1.5e-3, 1'000
+  kString,      // "..." with prefixes and raw strings; text excludes quotes
+  kChar,        // '...'; text excludes quotes
+  kPunct,       // operators and punctuation, longest-match
+  kDirective,   // preprocessor directive name, e.g. "include", "ifndef"
+  kHeaderName,  // <...> form after #include; text excludes the angle brackets
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+
+  bool Is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool IsIdent(std::string_view t) const {
+    return Is(TokenKind::kIdentifier, t);
+  }
+  bool IsPunct(std::string_view t) const { return Is(TokenKind::kPunct, t); }
+};
+
+/// Tokenizes C++ source text. Comments are consumed (never emitted);
+/// line continuations (backslash-newline) are spliced everywhere except
+/// inside raw string literals, with line numbers tracking the physical
+/// line of each token. Unterminated literals are tolerated: the token ends
+/// at end-of-input rather than aborting the scan.
+std::vector<Token> Lex(std::string_view text);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_LEXER_H_

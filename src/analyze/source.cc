@@ -1,0 +1,59 @@
+#include "analyze/source.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sthsl::analyze {
+
+namespace fs = std::filesystem;
+
+bool SourceFile::IsHeader() const {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+std::string SourceFile::PathInSrc() const {
+  constexpr const char* kPrefix = "src/";
+  if (path.rfind(kPrefix, 0) != 0) return "";
+  return path.substr(4);
+}
+
+std::string SourceFile::Layer() const {
+  const std::string in_src = PathInSrc();
+  const size_t slash = in_src.find('/');
+  if (slash == std::string::npos) return "";  // file directly in src/
+  return in_src.substr(0, slash);
+}
+
+bool LoadSourceTree(const std::string& root, std::vector<SourceFile>* files,
+                    std::string* error) {
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    if (error) *error = "no src/ directory under " + root;
+    return false;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(src, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    files->push_back(
+        {"src/" + fs::relative(entry.path(), src).generic_string(),
+         text.str()});
+  }
+  if (ec) {
+    if (error) *error = "walking " + src.string() + ": " + ec.message();
+    return false;
+  }
+  std::sort(files->begin(), files->end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return true;
+}
+
+}  // namespace sthsl::analyze

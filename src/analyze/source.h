@@ -1,0 +1,31 @@
+#ifndef STHSL_ANALYZE_SOURCE_H_
+#define STHSL_ANALYZE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+namespace sthsl::analyze {
+
+/// One file under analysis. `path` is repo-root-relative with forward
+/// slashes (e.g. "src/tensor/ops.h"); passes derive the layer from the
+/// first path component after "src/".
+struct SourceFile {
+  std::string path;
+  std::string text;
+
+  bool IsHeader() const;
+  /// Layer directory ("tensor", "nn", ...); empty when the file is not
+  /// under a src/ subdirectory.
+  std::string Layer() const;
+  /// Path relative to src/ ("tensor/ops.h"); empty when not under src/.
+  std::string PathInSrc() const;
+};
+
+/// Loads every .h/.cc file under `<root>/src`, sorted by path. Returns
+/// false (with `error` set) when the directory is missing or unreadable.
+bool LoadSourceTree(const std::string& root, std::vector<SourceFile>* files,
+                    std::string* error);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_SOURCE_H_

@@ -1,0 +1,135 @@
+#include "analyze/token_util.h"
+
+namespace sthsl::analyze {
+namespace {
+
+bool IsBodyIntroBrace(const std::vector<Token>& tokens, size_t brace) {
+  // Walk backwards over tokens that may legally sit between a function
+  // signature's closing `)` and its body: cv/ref qualifiers, noexcept
+  // (optionally with arguments), virt-specifiers, and a trailing return
+  // type. Everything else (identifiers, `=`, `,`, `;`) means this brace is
+  // an initializer, a class body, or an enum body.
+  size_t i = brace;
+  int angle_depth = 0;
+  while (i > 0) {
+    const Token& t = tokens[--i];
+    if (t.kind == TokenKind::kPunct && t.text == ")") {
+      return true;  // signature (or noexcept(...) — either way a function)
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      if (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+          t.text == "final" || t.text == "mutable" || t.text == "try") {
+        continue;
+      }
+      // Part of a trailing return type only if a `->` shows up later in the
+      // backward walk; allow the identifier and keep looking.
+      continue;
+    }
+    if (t.kind == TokenKind::kPunct &&
+        (t.text == "::" || t.text == "*" || t.text == "&" || t.text == "&&" ||
+         t.text == "->")) {
+      continue;
+    }
+    if (t.kind == TokenKind::kPunct && t.text == ">") {
+      ++angle_depth;
+      continue;
+    }
+    if (t.kind == TokenKind::kPunct && t.text == "<") {
+      if (angle_depth == 0) return false;
+      --angle_depth;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FunctionBody> FindFunctionBodies(const std::vector<Token>& tokens) {
+  std::vector<FunctionBody> bodies;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].IsPunct("{")) continue;
+    if (!IsBodyIntroBrace(tokens, i)) continue;
+    int depth = 1;
+    size_t j = i + 1;
+    for (; j < tokens.size() && depth > 0; ++j) {
+      if (tokens[j].IsPunct("{")) ++depth;
+      if (tokens[j].IsPunct("}")) --depth;
+    }
+    // j is one past the closing brace (or end of file when unbalanced).
+    bodies.push_back({i + 1, depth == 0 ? j - 1 : j, tokens[i].line});
+    i = (depth == 0 ? j - 1 : j);  // resume after the body
+  }
+  return bodies;
+}
+
+size_t SkipAngles(const std::vector<Token>& tokens, size_t i, size_t end) {
+  if (i >= end || !tokens[i].IsPunct("<")) return i;
+  int depth = 0;
+  for (size_t j = i; j < end; ++j) {
+    const Token& t = tokens[j];
+    if (t.IsPunct("<")) ++depth;
+    if (t.IsPunct("<<")) depth += 2;
+    if (t.IsPunct(">")) --depth;
+    if (t.IsPunct(">>")) depth -= 2;
+    if (depth <= 0) return j + 1;
+    // `;` or `{` inside an angle run: not a template argument list.
+    if (t.IsPunct(";") || t.IsPunct("{")) return i;
+  }
+  return i;
+}
+
+size_t SkipParens(const std::vector<Token>& tokens, size_t i, size_t end) {
+  if (i >= end || !tokens[i].IsPunct("(")) return i;
+  int depth = 0;
+  for (size_t j = i; j < end; ++j) {
+    if (tokens[j].IsPunct("(")) ++depth;
+    if (tokens[j].IsPunct(")")) --depth;
+    if (depth == 0) return j + 1;
+  }
+  return end;
+}
+
+std::vector<LockSite> FindLockSites(const std::vector<Token>& tokens,
+                                    size_t begin, size_t end) {
+  std::vector<LockSite> sites;
+  for (size_t i = begin; i < end; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier ||
+        (t.text != "lock_guard" && t.text != "unique_lock" &&
+         t.text != "scoped_lock")) {
+      continue;
+    }
+    LockSite site;
+    site.token_index = i;
+    site.line = t.line;
+    site.kind = t.text;
+    size_t j = SkipAngles(tokens, i + 1, end);
+    // Optional variable name (CTAD or explicit template args either way).
+    while (j < end && tokens[j].kind == TokenKind::kIdentifier) ++j;
+    if (j >= end || !tokens[j].IsPunct("(")) continue;
+    const size_t close = SkipParens(tokens, j, end);
+    // Each top-level comma-separated argument contributes its final
+    // identifier: `region->error_mu` -> "error_mu".
+    std::string last_ident;
+    int depth = 0;
+    for (size_t k = j; k + 1 < close; ++k) {
+      const Token& a = tokens[k];
+      if (a.IsPunct("(")) ++depth;
+      if (a.IsPunct(")")) --depth;
+      if (depth == 1 && a.IsPunct(",")) {
+        if (!last_ident.empty()) site.mutexes.push_back(last_ident);
+        last_ident.clear();
+        continue;
+      }
+      if (a.kind == TokenKind::kIdentifier) last_ident = a.text;
+    }
+    if (!last_ident.empty()) site.mutexes.push_back(last_ident);
+    if (!site.mutexes.empty()) sites.push_back(site);
+    i = close > i ? close - 1 : i;
+  }
+  return sites;
+}
+
+}  // namespace sthsl::analyze

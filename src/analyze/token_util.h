@@ -1,0 +1,52 @@
+#ifndef STHSL_ANALYZE_TOKEN_UTIL_H_
+#define STHSL_ANALYZE_TOKEN_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace sthsl::analyze {
+
+/// Half-open token-index range [body_begin, body_end) covering the tokens
+/// between (excluding) the braces of one function body. Member functions
+/// defined inside a class body are reported individually; everything nested
+/// within a body (lambdas, local classes) belongs to that body's span.
+struct FunctionBody {
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int line = 0;  // line of the opening brace
+};
+
+/// Heuristic function-body finder: a top-level `{` whose previous
+/// significant token is `)` — possibly with const/noexcept/override/final
+/// or a trailing-return chain in between — opens a function body. Control
+/// flow (`if (...) {`) only matches inside bodies, which the scan skips,
+/// so it never produces nested spans.
+std::vector<FunctionBody> FindFunctionBodies(const std::vector<Token>& tokens);
+
+/// One RAII lock construction found inside a token range:
+/// `std::lock_guard<std::mutex> l(pool.mu)` yields kind "lock_guard" and
+/// mutex names {"mu"} (the last identifier of each constructor argument).
+struct LockSite {
+  size_t token_index = 0;  // index of the lock_guard/unique_lock identifier
+  int line = 0;
+  std::string kind;
+  std::vector<std::string> mutexes;
+};
+
+std::vector<LockSite> FindLockSites(const std::vector<Token>& tokens,
+                                    size_t begin, size_t end);
+
+/// Index just past a balanced `<...>` starting at `i` (which must point at
+/// `<`); `>>` closes two levels. Returns `i` unchanged when the angle run
+/// does not close before `end`.
+size_t SkipAngles(const std::vector<Token>& tokens, size_t i, size_t end);
+
+/// Index just past the `)` matching the `(` at `i`.
+size_t SkipParens(const std::vector<Token>& tokens, size_t i, size_t end);
+
+}  // namespace sthsl::analyze
+
+#endif  // STHSL_ANALYZE_TOKEN_UTIL_H_

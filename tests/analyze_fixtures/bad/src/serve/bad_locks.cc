@@ -1,0 +1,42 @@
+// Deliberately broken concurrency hygiene: every function below trips one
+// rule of the concurrency pass.
+
+#include <mutex>
+#include <vector>
+
+namespace sthsl_analyze_fixture {
+
+class Queue {
+ public:
+  void PushUnguarded(int v) {
+    queue_items_.push_back(v);  // guarded-field violation: no lock taken
+  }
+
+  void PushManual(int v) {
+    queue_mu_.lock();  // mutex-guard violation: manual lock management
+    queue_items_.push_back(v);
+    queue_mu_.unlock();
+  }
+
+  void TransferAB() {
+    std::lock_guard<std::mutex> a(alpha_mu_);
+    std::lock_guard<std::mutex> b(beta_mu_);  // order: alpha then beta
+    (void)a;
+    (void)b;
+  }
+
+  void TransferBA() {
+    std::lock_guard<std::mutex> b(beta_mu_);
+    std::lock_guard<std::mutex> a(alpha_mu_);  // lock-order inversion
+    (void)a;
+    (void)b;
+  }
+
+ private:
+  std::mutex queue_mu_;
+  std::vector<int> queue_items_;
+  std::mutex alpha_mu_;
+  std::mutex beta_mu_;
+};
+
+}  // namespace sthsl_analyze_fixture

@@ -1,0 +1,31 @@
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+
+// include-guard violation: the guard above should be path-derived
+// (STHSL_TENSOR_BAD_CLOCK_H_).
+
+#include <cassert>
+#include <chrono>
+
+namespace sthsl_analyze_fixture {
+
+inline double WallClockSeconds() {
+  // det-time violation: wall-clock read in a kernel layer.
+  const auto now = std::chrono::system_clock::now();
+  const double s = std::chrono::duration<double>(now.time_since_epoch())
+                       .count();
+  assert(s > 0);  // bare-assert violation
+  return s;
+}
+
+inline int* StripConst(const int* value) {
+  return const_cast<int*>(value);  // const-cast violation
+}
+
+inline int PunType(float f) {
+  return *reinterpret_cast<int*>(&f);  // reinterpret-cast violation
+}
+
+}  // namespace sthsl_analyze_fixture
+
+#endif  // WRONG_GUARD_H_

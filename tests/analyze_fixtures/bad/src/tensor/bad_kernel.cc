@@ -1,0 +1,27 @@
+// Deliberately broken file: the sthsl_analyze_fixture_bad ctest case
+// asserts the determinism and layering passes report every pattern here
+// and exit non-zero.
+
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/engine.h"  // layer-dag violation: tensor must not see serve
+
+namespace sthsl_analyze_fixture {
+
+float NondeterministicSum(const std::unordered_map<int, float>& weights) {
+  float total = 0.0f;
+  // det-unordered-iter violation: float accumulation in hash order.
+  for (const auto& [key, value] : weights) {
+    total += value;
+  }
+  return total + static_cast<float>(std::rand());  // det-rand violation
+}
+
+void DetachedKernel() {
+  std::thread worker([] {});  // det-thread violation: raw thread in tensor
+  worker.detach();            // det-thread violation: detach
+}
+
+}  // namespace sthsl_analyze_fixture

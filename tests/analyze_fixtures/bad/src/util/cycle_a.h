@@ -1,0 +1,11 @@
+#ifndef STHSL_UTIL_CYCLE_A_H_
+#define STHSL_UTIL_CYCLE_A_H_
+
+// include-cycle violation: cycle_a.h -> cycle_b.h -> cycle_a.h.
+#include "util/cycle_b.h"
+
+struct CycleA {
+  CycleBTag b;
+};
+
+#endif  // STHSL_UTIL_CYCLE_A_H_

@@ -1,0 +1,8 @@
+#ifndef STHSL_UTIL_CYCLE_B_H_
+#define STHSL_UTIL_CYCLE_B_H_
+
+#include "util/cycle_a.h"
+
+struct CycleBTag {};
+
+#endif  // STHSL_UTIL_CYCLE_B_H_

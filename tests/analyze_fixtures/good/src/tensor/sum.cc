@@ -1,0 +1,31 @@
+// Clean kernel-layer file: deterministic iteration order, layered include,
+// and a raw string plus a line continuation to exercise the lexer on real
+// input ("std::thread" inside literals must not trip det-thread).
+
+#include <map>
+#include <string>
+
+#include "util/widget.h"
+
+namespace sthsl_analyze_fixture {
+
+// A comment that mentions std::rand() and reinterpret_cast without using
+// either; the analyzer must ignore comment text.
+double OrderedSum(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, value] : weights) {
+    total += value;  // std::map iterates in key order: deterministic
+  }
+  return total;
+}
+
+const char* Banner() {
+  return R"banner(raw string mentioning std::thread and const_cast)banner";
+}
+
+#define FIXTURE_GLUE(a, b) \
+  a##b
+
+int Glued() { return FIXTURE_GLUE(4, 2); }
+
+}  // namespace sthsl_analyze_fixture

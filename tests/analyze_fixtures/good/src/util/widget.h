@@ -1,0 +1,30 @@
+#ifndef STHSL_UTIL_WIDGET_H_
+#define STHSL_UTIL_WIDGET_H_
+
+#include <mutex>
+#include <vector>
+
+namespace sthsl_analyze_fixture {
+
+// Clean counterpart of the bad fixture: path-derived guard, RAII locking,
+// prefix-guarded fields touched only under their mutex.
+class Widget {
+ public:
+  void Push(int v) {
+    std::lock_guard<std::mutex> lock(item_mu_);
+    item_values_.push_back(v);
+  }
+
+  int Count() const {
+    std::lock_guard<std::mutex> lock(item_mu_);
+    return static_cast<int>(item_values_.size());
+  }
+
+ private:
+  mutable std::mutex item_mu_;
+  std::vector<int> item_values_;
+};
+
+}  // namespace sthsl_analyze_fixture
+
+#endif  // STHSL_UTIL_WIDGET_H_

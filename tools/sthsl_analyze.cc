@@ -1,0 +1,184 @@
+// sthsl_analyze: multi-pass static analyzer for the ST-HSL source tree.
+//
+// Replaces the token-grepping sthsl_lint with a real lexer (comments,
+// strings, raw strings, line continuations, preprocessor directives) and
+// four passes over `<root>/src`:
+//
+//   layering      include DAG: util -> exec -> tensor -> nn/metrics ->
+//                 data -> core -> baselines -> serve, plus include-cycle
+//                 detection (rules layer-dag, include-cycle, unknown-layer)
+//   determinism   the exec determinism contract: raw threading confined to
+//                 exec/serve, no ambient randomness or wall-clock reads in
+//                 kernels, no float accumulation in hash order (det-*)
+//   concurrency   `_mu` mutex convention: RAII locking only, prefix-guarded
+//                 fields touched under their lock, no lock-order inversions
+//                 (mutex-guard, guarded-field, lock-order)
+//   headers       path-derived include guards, STHSL_CHECK over assert,
+//                 cast hygiene, header self-containment
+//
+// Known findings live in a baseline file (tools/analyze_baseline.txt);
+// anything not baselined fails the run. Registered in ctest and CI (which
+// also uploads the SARIF). See docs/correctness_tooling.md for the rule
+// catalog.
+//
+// Usage:
+//   sthsl_analyze <repo_root> [--baseline <file>] [--format text|json|sarif]
+//                 [--out <file>] [--only <pass>[,<pass>...]]
+//                 [--fix-baseline] [--compiler <c++>] [--no-self-contained]
+//                 [--list-rules]
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/baseline.h"
+
+namespace {
+
+using sthsl::analyze::AnalyzeOptions;
+using sthsl::analyze::AnalyzeResult;
+
+int Usage() {
+  std::cerr
+      << "usage: sthsl_analyze <repo_root> [--baseline <file>]\n"
+         "                     [--format text|json|sarif] [--out <file>]\n"
+         "                     [--only <pass>[,<pass>...]] [--fix-baseline]\n"
+         "                     [--compiler <c++>] [--no-self-contained]\n"
+         "                     [--list-rules]\n"
+         "passes: layering determinism concurrency headers\n";
+  return 2;
+}
+
+std::vector<std::string> SplitCommas(const std::string& arg) {
+  std::vector<std::string> parts;
+  std::istringstream in(arg);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+int ListRules() {
+  for (const auto& rule : sthsl::analyze::Rules()) {
+    std::cout << rule.id << " (" << rule.pass << ", "
+              << sthsl::analyze::SeverityName(rule.severity) << "): "
+              << rule.summary << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AnalyzeOptions options;
+  std::string format = "text";
+  std::string out_path;
+  bool fix_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.baseline_path = v;
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      const char* v =
+          arg.size() > 9 && arg[8] == '=' ? arg.c_str() + 9 : next();
+      if (!v) return Usage();
+      format = v;
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "sthsl_analyze: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--only" || arg.rfind("--only=", 0) == 0) {
+      const char* v = arg.size() > 7 && arg[6] == '=' ? arg.c_str() + 7
+                                                      : next();
+      if (!v) return Usage();
+      for (const std::string& pass : SplitCommas(v)) {
+        const auto& names = sthsl::analyze::PassNames();
+        if (std::find(names.begin(), names.end(), pass) == names.end()) {
+          std::cerr << "sthsl_analyze: unknown pass '" << pass << "'\n";
+          return 2;
+        }
+        options.only_passes.push_back(pass);
+      }
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return Usage();
+      out_path = v;
+    } else if (arg == "--compiler") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.compiler = v;
+    } else if (arg == "--no-self-contained") {
+      options.check_self_contained = false;
+    } else if (arg == "--fix-baseline") {
+      fix_baseline = true;
+    } else if (arg == "--list-rules") {
+      return ListRules();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "sthsl_analyze: unknown argument " << arg << "\n";
+      return Usage();
+    } else if (options.root.empty()) {
+      options.root = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.root.empty()) return Usage();
+
+  if (fix_baseline) {
+    // Re-run without suppressions and write the baseline that silences the
+    // current tree.
+    AnalyzeOptions all = options;
+    const std::string baseline_path = options.baseline_path.empty()
+                                          ? options.root +
+                                                "/tools/analyze_baseline.txt"
+                                          : options.baseline_path;
+    all.baseline_path.clear();
+    const AnalyzeResult result = sthsl::analyze::RunAnalysis(all);
+    if (!result.ok) {
+      std::cerr << "sthsl_analyze: " << result.error << "\n";
+      return 2;
+    }
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::cerr << "sthsl_analyze: cannot write " << baseline_path << "\n";
+      return 2;
+    }
+    out << sthsl::analyze::RenderBaseline(result.findings);
+    std::cout << "sthsl_analyze: wrote " << baseline_path << " ("
+              << result.findings.size() << " suppression(s))\n";
+    return 0;
+  }
+
+  const AnalyzeResult result = sthsl::analyze::RunAnalysis(options);
+  if (!result.ok) {
+    std::cerr << "sthsl_analyze: " << result.error << "\n";
+    return 2;
+  }
+  const std::string report = sthsl::analyze::RenderReport(result, format);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "sthsl_analyze: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << report;
+    // Keep the human-readable verdict on stdout so ctest logs stay useful.
+    std::cout << sthsl::analyze::RenderReport(result, "text");
+  } else if (format != "text") {
+    std::cout << report;
+    std::cerr << sthsl::analyze::RenderReport(result, "text");
+  } else {
+    std::cout << report;
+  }
+  return result.findings.empty() ? 0 : 1;
+}
