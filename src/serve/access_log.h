@@ -1,0 +1,94 @@
+#ifndef STHSL_SERVE_ACCESS_LOG_H_
+#define STHSL_SERVE_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "serve/trace.h"
+
+namespace sthsl::serve {
+
+/// Structured JSONL access log for the serving tier: exactly one record per
+/// completed HTTP response (including error responses), written as a single
+/// JSON object per line:
+///
+///   {"ts":"2026-08-08T12:00:00.123Z","trace_id":"...","span_id":"...",
+///    "method":"POST","path":"/predict","status":200,"bytes":412,
+///    "total_us":184.2,"stages":{"header_parse":3.1,...},
+///    "cache_hit":false,"batch_size":4}
+///
+/// Disabled by default; enabled by pointing STHSL_ACCESS_LOG at a file path
+/// (or Configure in tests). When disabled, `enabled()` is a single inline
+/// branch on a plain bool, so the request path pays nothing.
+///
+/// Rotation is size-based: once the file exceeds the max (default 64 MiB,
+/// override via STHSL_ACCESS_LOG_MAX_BYTES), it is renamed to `<path>.1`
+/// (replacing any previous `.1`) and a fresh file is opened — bounded disk
+/// use, at most two generations.
+///
+/// Slow-request capture: requests whose total exceeds STHSL_SLOW_REQUEST_US
+/// (or the Configure threshold) get `"slow":true` in their record and a
+/// WARNING log line with the full per-stage breakdown.
+class AccessLog {
+ public:
+  /// One record, assembled by the service/HTTP layer per response.
+  struct Record {
+    const RequestContext* context = nullptr;  // required
+    std::string method;
+    std::string path;
+    int status = 0;
+    int64_t bytes = 0;      // response body bytes
+    double total_us = 0.0;  // wall time from first parsed byte to send
+    // Predict-only detail; negative batch_size means "not applicable" and
+    // the fields are omitted from the record.
+    bool cache_hit = false;
+    int64_t batch_size = -1;
+  };
+
+  /// Process-wide instance, configured once from the environment.
+  static AccessLog& Global();
+
+  /// Reconfigures the log (tests; also used by Global's env setup).
+  /// An empty path disables logging. `slow_threshold_us <= 0` disables
+  /// slow-request capture.
+  void Configure(const std::string& path, int64_t max_bytes,
+                 double slow_threshold_us);
+
+  /// True when records are being written. Inline so the disabled path is a
+  /// single branch with no call.
+  bool enabled() const { return enabled_; }
+
+  /// Appends one record (no-op when disabled). Thread-safe; handles
+  /// rotation and slow-request capture internally.
+  void Write(const Record& record);
+
+  /// Flushes and closes the current file without disabling future writes
+  /// (tests inspect the file between requests).
+  void Flush();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+ private:
+  AccessLog() = default;
+
+  void RotateLocked();
+
+  // `enabled_` is written only under mu_ (Configure) but read lock-free on
+  // the hot path; a stale read merely skips/keeps one record during a
+  // reconfigure race, which only tests exercise.
+  bool enabled_ = false;
+
+  mutable std::mutex mu_;
+  std::string path_;             // guarded by mu_
+  std::FILE* file_ = nullptr;    // guarded by mu_
+  int64_t written_bytes_ = 0;    // guarded by mu_
+  int64_t max_bytes_ = 0;        // guarded by mu_
+  double slow_threshold_us_ = 0;  // guarded by mu_
+};
+
+}  // namespace sthsl::serve
+
+#endif  // STHSL_SERVE_ACCESS_LOG_H_

@@ -24,17 +24,17 @@ MicroBatcher::MicroBatcher(Config config, BatchFn fn)
 
 MicroBatcher::~MicroBatcher() { Shutdown(); }
 
-std::future<Tensor> MicroBatcher::Submit(Tensor window) {
+std::future<MicroBatcher::Ticket> MicroBatcher::Submit(Tensor window) {
   Pending pending;
   pending.input = std::move(window);
   pending.enqueued = std::chrono::steady_clock::now();
-  std::future<Tensor> future = pending.promise.get_future();
+  std::future<Ticket> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       // Draining: resolve immediately with an undefined tensor instead of
       // blocking the caller or aborting mid-drain.
-      pending.promise.set_value(Tensor());
+      pending.promise.set_value(Ticket());
       return future;
     }
     queue_.push_back(std::move(pending));
@@ -86,11 +86,18 @@ void MicroBatcher::WorkerLoop() {
 
     const size_t take = std::min<size_t>(
         queue_.size(), static_cast<size_t>(config_.max_batch_size));
+    const auto dequeue_start = std::chrono::steady_clock::now();
     std::vector<Tensor> inputs;
-    std::vector<std::promise<Tensor>> promises;
+    std::vector<std::promise<Ticket>> promises;
+    std::vector<double> queue_waits_us;
     inputs.reserve(take);
     promises.reserve(take);
+    queue_waits_us.reserve(take);
     for (size_t i = 0; i < take; ++i) {
+      queue_waits_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              dequeue_start - queue_.front().enqueued)
+              .count());
       inputs.push_back(std::move(queue_.front().input));
       promises.push_back(std::move(queue_.front().promise));
       queue_.pop_front();
@@ -110,12 +117,26 @@ void MicroBatcher::WorkerLoop() {
     }
 
     lock.unlock();
+    const auto infer_start = std::chrono::steady_clock::now();
     std::vector<Tensor> outputs = fn_(inputs);
+    const auto infer_end = std::chrono::steady_clock::now();
     STHSL_CHECK(outputs.size() == inputs.size())
         << "batch function returned " << outputs.size() << " results for "
         << inputs.size() << " inputs";
+    const double assembly_us =
+        std::chrono::duration<double, std::micro>(infer_start - dequeue_start)
+            .count();
+    const double inference_us =
+        std::chrono::duration<double, std::micro>(infer_end - infer_start)
+            .count();
     for (size_t i = 0; i < take; ++i) {
-      promises[i].set_value(std::move(outputs[i]));
+      Ticket ticket;
+      ticket.value = std::move(outputs[i]);
+      ticket.queue_wait_us = queue_waits_us[i];
+      ticket.batch_assembly_us = assembly_us;
+      ticket.inference_us = inference_us;
+      ticket.batch_size = static_cast<int64_t>(take);
+      promises[i].set_value(std::move(ticket));
     }
     lock.lock();
   }

@@ -50,6 +50,22 @@ class MicroBatcher {
   using BatchFn =
       std::function<std::vector<Tensor>(const std::vector<Tensor>&)>;
 
+  /// What a Submit future resolves with: the prediction plus this request's
+  /// share of the batch timeline, for per-stage tracing.
+  struct Ticket {
+    Tensor value;  // undefined when the batcher was already draining
+    /// Submit enqueue → a worker dequeued this request.
+    double queue_wait_us = 0.0;
+    /// Dequeue → the batch function was entered (moving inputs/promises and
+    /// flush accounting); shared by every request in the batch.
+    double batch_assembly_us = 0.0;
+    /// Wall time of the batch function (stacking + forward); shared by
+    /// every request in the batch.
+    double inference_us = 0.0;
+    /// Requests in the batch this one rode in (0 when rejected by drain).
+    int64_t batch_size = 0;
+  };
+
   MicroBatcher(Config config, BatchFn fn);
   ~MicroBatcher();
 
@@ -58,9 +74,9 @@ class MicroBatcher {
 
   /// Enqueues one window. The future resolves with the prediction once the
   /// window's batch has run. After Shutdown the returned future resolves
-  /// immediately with an undefined Tensor (callers translate that into an
-  /// unavailable error).
-  std::future<Tensor> Submit(Tensor window);
+  /// immediately with a Ticket holding an undefined Tensor (callers
+  /// translate that into an unavailable error).
+  std::future<Ticket> Submit(Tensor window);
 
   /// Graceful drain: rejects new submissions, flushes everything already
   /// queued, then joins the workers. Idempotent.
@@ -71,7 +87,7 @@ class MicroBatcher {
  private:
   struct Pending {
     Tensor input;
-    std::promise<Tensor> promise;
+    std::promise<Ticket> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 

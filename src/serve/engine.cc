@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/obs/log_histogram.h"
 #include "util/obs/metrics.h"
 #include "util/timer.h"
 
@@ -21,7 +22,9 @@ InferenceEngine::InferenceEngine(LoadedBundle bundle, EngineConfig config)
       config.batcher, [model](const std::vector<Tensor>& windows) {
         auto& registry = obs::MetricsRegistry::Global();
         registry.GetCounter("serve/batches").Add(1);
-        registry.GetHistogram("serve/batch_size")
+        // LogHistogram: fixed memory however many batches the process
+        // serves (the exact Histogram would grow one sample per batch).
+        registry.GetLogHistogram("serve/batch_size")
             .Record(static_cast<double>(windows.size()));
         return model->PredictWindows(windows);
       });
@@ -61,21 +64,28 @@ Result<InferenceEngine::Prediction> InferenceEngine::Predict(
   }
 
   Prediction result;
-  if (cache_.Lookup(window, &result.values)) {
+  Timer cache_timer;
+  const bool cache_hit = cache_.Lookup(window, &result.values);
+  result.cache_lookup_us = cache_timer.ElapsedMicros();
+  if (cache_hit) {
     result.cache_hit = true;
     registry.GetCounter("serve/cache_hits").Add(1);
   } else {
     registry.GetCounter("serve/cache_misses").Add(1);
-    Tensor values = batcher_->Submit(window).get();
-    if (!values.Defined()) {
+    MicroBatcher::Ticket ticket = batcher_->Submit(window).get();
+    if (!ticket.value.Defined()) {
       registry.GetCounter("serve/errors").Add(1);
       return Status::Internal("engine is shutting down");
     }
-    cache_.Insert(window, values);
-    result.values = std::move(values);
+    cache_.Insert(window, ticket.value);
+    result.values = std::move(ticket.value);
+    result.queue_wait_us = ticket.queue_wait_us;
+    result.batch_assembly_us = ticket.batch_assembly_us;
+    result.inference_us = ticket.inference_us;
+    result.batch_size = ticket.batch_size;
   }
   result.latency_us = timer.ElapsedMicros();
-  registry.GetHistogram("serve/latency_us").Record(result.latency_us);
+  registry.GetLogHistogram("serve/latency_us").Record(result.latency_us);
   return result;
 }
 

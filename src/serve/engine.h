@@ -30,6 +30,13 @@ class InferenceEngine {
     Tensor values;  // (R, C) non-negative counts
     bool cache_hit = false;
     double latency_us = 0.0;
+    /// Stage breakdown (microseconds) for request tracing. The batcher
+    /// stages are zero — and batch_size is 0 — on cache hits.
+    double cache_lookup_us = 0.0;
+    double queue_wait_us = 0.0;
+    double batch_assembly_us = 0.0;
+    double inference_us = 0.0;
+    int64_t batch_size = 0;
   };
 
   InferenceEngine(LoadedBundle bundle, EngineConfig config);

@@ -13,7 +13,10 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/access_log.h"
 #include "util/logging.h"
+#include "util/obs/obs.h"
+#include "util/timer.h"
 
 namespace sthsl::serve {
 namespace {
@@ -51,6 +54,44 @@ bool SendAll(int fd, const std::string& data) {
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+/// Guarantees every completed response carries a trace context and echoes
+/// a traceparent header. Handlers that attached a context (predict) keep
+/// it; every other response — health, metrics, 404/405, parse failures —
+/// gets one synthesized here, so the echo and the access-log record are
+/// universal.
+void FinalizeResponse(const HttpRequest& request, double header_parse_us,
+                      HttpResponse* response) {
+  if (response->trace.trace_id.empty()) {
+    const auto it = request.headers.find("traceparent");
+    response->trace = MakeRequestContext(
+        it != request.headers.end() ? it->second : std::string());
+    response->trace.AddStage(Stage::kHeaderParse, header_parse_us);
+  }
+  for (const auto& [name, value] : response->headers) {
+    if (name == "traceparent") return;
+  }
+  response->headers.emplace_back("traceparent",
+                                 response->trace.TraceparentHeader());
+}
+
+/// One access-log record per completed response; the single call site per
+/// response path in HandleConnection is what makes "exactly once" hold.
+void LogAccess(const std::string& method, const std::string& path,
+               const HttpResponse& response, double total_us) {
+  AccessLog& log = AccessLog::Global();
+  if (!log.enabled()) return;
+  AccessLog::Record record;
+  record.context = &response.trace;
+  record.method = method;
+  record.path = path;
+  record.status = response.status;
+  record.bytes = static_cast<int64_t>(response.body.size());
+  record.total_us = total_us;
+  record.cache_hit = response.cache_hit;
+  record.batch_size = response.batch_size;
+  log.Write(record);
 }
 
 }  // namespace
@@ -148,6 +189,9 @@ std::string RenderHttpResponse(const HttpResponse& response,
                     HttpStatusReason(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out += response.body;
@@ -232,11 +276,22 @@ void HttpServer::HandleConnection(int fd) {
   bool close_connection = false;
   while (!close_connection) {
     // Serve every complete request already buffered before reading more.
+    // The timer restarts every iteration, so on the iteration that parses
+    // a complete request it measures parse → handler → send without the
+    // network wait that preceded it (stage sums stay ≤ total_us).
     size_t consumed = 0;
     HttpRequest request;
+    Timer total_timer;
+    const double parse_start_us =
+        obs::TraceEnabled() ? obs::TraceNowMicros() : 0.0;
     const HttpParse parsed =
         ParseHttpRequest(buffer, max_body_bytes_, &request, &consumed);
+    const double parse_us = total_timer.ElapsedMicros();
     if (parsed == HttpParse::kOk) {
+      request.header_parse_us = parse_us;
+      if (obs::TraceEnabled()) {
+        obs::RecordServeSpan("serve/header_parse", parse_start_us, parse_us);
+      }
       buffer.erase(0, consumed);
       const bool keep_alive =
           !stopping_.load() &&
@@ -262,8 +317,12 @@ void HttpServer::HandleConnection(int fd) {
                         (path_known ? "method not allowed" : "not found") +
                         "\"}";
       }
+      FinalizeResponse(request, parse_us, &response);
       requests_served_.fetch_add(1);
-      if (!SendAll(fd, RenderHttpResponse(response, keep_alive))) break;
+      const bool sent = SendAll(fd, RenderHttpResponse(response, keep_alive));
+      LogAccess(request.method, request.target, response,
+                total_timer.ElapsedMicros());
+      if (!sent) break;
       close_connection = !keep_alive;
       continue;
     }
@@ -274,8 +333,13 @@ void HttpServer::HandleConnection(int fd) {
       response.body = parsed == HttpParse::kBadRequest
                           ? "{\"error\": \"malformed HTTP request\"}"
                           : "{\"error\": \"request body too large\"}";
+      // `request` was never filled: the synthesized context carries fresh
+      // ids and the record has no method/path to report.
+      FinalizeResponse(request, parse_us, &response);
       requests_served_.fetch_add(1);
       SendAll(fd, RenderHttpResponse(response, /*keep_alive=*/false));
+      LogAccess(request.method, request.target, response,
+                total_timer.ElapsedMicros());
       break;
     }
     // kNeedMore: pull more bytes; the receive timeout lets us notice drain.

@@ -8,8 +8,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "serve/trace.h"
 #include "util/status.h"
 
 namespace sthsl::serve {
@@ -21,12 +23,25 @@ struct HttpRequest {
   std::string version;
   std::map<std::string, std::string> headers;
   std::string body;
+  /// Wall time spent in the (successful) ParseHttpRequest call, filled by
+  /// the server before the handler runs; feeds the header_parse stage.
+  double header_parse_us = 0.0;
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (name, value), e.g. the echoed `traceparent`.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // Request-scoped annotations filled by handlers, consumed by the access
+  // log — never serialized onto the wire. `trace` with an empty trace_id
+  // means the handler did not attach a context and the server synthesizes
+  // one. batch_size < 0 means "not a predict request" (detail omitted).
+  RequestContext trace;
+  bool cache_hit = false;
+  int64_t batch_size = -1;
 };
 
 /// Outcome of one incremental parse attempt over a receive buffer.

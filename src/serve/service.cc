@@ -1,12 +1,19 @@
 #include "serve/service.h"
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/exec.h"
+#include "serve/access_log.h"
+#include "serve/trace.h"
 #include "util/json_mini.h"
+#include "util/obs/log_histogram.h"
 #include "util/obs/metrics.h"
+#include "util/obs/obs.h"
 
 namespace sthsl::serve {
 namespace {
@@ -41,6 +48,72 @@ int StatusToHttp(const Status& status) {
   }
 }
 
+const std::string& HeaderOrEmpty(const HttpRequest& request,
+                                 const std::string& name) {
+  static const std::string kEmpty;
+  const auto it = request.headers.find(name);
+  return it != request.headers.end() ? it->second : kEmpty;
+}
+
+/// Attaches the context to the response and echoes the traceparent header
+/// (the HTTP layer would synthesize a fresh context otherwise, losing the
+/// stage timings accumulated here).
+void AttachTrace(RequestContext context, HttpResponse* response) {
+  response->headers.emplace_back("traceparent", context.TraceparentHeader());
+  response->trace = std::move(context);
+}
+
+/// Publishes the full per-request stage breakdown: one LogHistogram per
+/// stage (always on, fixed memory) and, when tracing is enabled, one
+/// "serve"-category chrome-trace span per stage laid out sequentially from
+/// `t0_us`. The sequential layout is an approximation — the stages are
+/// measured as durations, and the predict pipeline runs them in this order.
+void PublishStages(const RequestContext& context, double t0_us) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const char* kStageMetric[kNumStages] = {
+      "serve/stage/header_parse_us", "serve/stage/body_parse_us",
+      "serve/stage/cache_lookup_us", "serve/stage/queue_wait_us",
+      "serve/stage/batch_assembly_us", "serve/stage/inference_us",
+      "serve/stage/serialize_us",
+  };
+  static const char* kStageSpan[kNumStages] = {
+      "serve/header_parse",   "serve/body_parse", "serve/cache_lookup",
+      "serve/queue_wait",     "serve/batch_assembly", "serve/inference",
+      "serve/serialize",
+  };
+  const bool tracing = obs::TraceEnabled();
+  double cursor_us = t0_us;
+  for (int i = 0; i < kNumStages; ++i) {
+    const double dur = context.stage_us[static_cast<size_t>(i)];
+    registry.GetLogHistogram(kStageMetric[i]).Record(dur);
+    // The header_parse span is emitted by the HTTP layer with its true
+    // start time; re-emitting it here would double it.
+    if (tracing && static_cast<Stage>(i) != Stage::kHeaderParse) {
+      obs::RecordServeSpan(kStageSpan[i], cursor_us, dur);
+    }
+    cursor_us += dur;
+  }
+}
+
+/// Prometheus metric name: `sthsl_` prefix, every character outside
+/// [a-zA-Z0-9_] mapped to '_' (so "serve/stage/inference_us" becomes
+/// "sthsl_serve_stage_inference_us").
+std::string PrometheusName(const std::string& name) {
+  std::string out = "sthsl_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void PrometheusScalar(std::ostringstream& body, const std::string& name,
+                      const char* type, const std::string& value) {
+  body << "# TYPE " << name << ' ' << type << '\n'
+       << name << ' ' << value << '\n';
+}
+
 }  // namespace
 
 PredictService::PredictService(InferenceEngine* engine) : engine_(engine) {}
@@ -52,19 +125,39 @@ void PredictService::Register(HttpServer* server) {
                 [this](const HttpRequest& r) { return HandleHealth(r); });
   server->Route("GET", "/metrics",
                 [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server->Route("GET", "/statusz",
+                [this](const HttpRequest& r) { return HandleStatusz(r); });
 }
 
 HttpResponse PredictService::HandlePredict(const HttpRequest& request) {
+  const double t0_us = obs::TraceNowMicros();
+  RequestContext context =
+      MakeRequestContext(HeaderOrEmpty(request, "traceparent"));
+  context.AddStage(Stage::kHeaderParse, request.header_parse_us);
+
+  // On every early exit the context still rides along, so error responses
+  // echo the client's trace id and land in the access log with whatever
+  // stages completed.
+  Timer body_timer;
+  auto fail = [&](HttpResponse response) {
+    context.AddStage(Stage::kBodyParse, body_timer.ElapsedMicros());
+    PublishStages(context, t0_us);
+    AttachTrace(std::move(context), &response);
+    return response;
+  };
+
   JsonValue root;
   std::string error;
   if (!sthsl::json::JsonParser(request.body).Parse(&root, &error) ||
       !root.Is(JsonValue::Kind::kObject)) {
-    return ErrorResponse(400, "request body is not a JSON object: " + error);
+    return fail(
+        ErrorResponse(400, "request body is not a JSON object: " + error));
   }
   const JsonValue* window_json =
       root.FindOfKind("window", JsonValue::Kind::kArray);
   if (window_json == nullptr) {
-    return ErrorResponse(400, "missing 'window': flat array of R*W*C counts");
+    return fail(
+        ErrorResponse(400, "missing 'window': flat array of R*W*C counts"));
   }
 
   const BundleManifest& manifest = engine_->manifest();
@@ -77,8 +170,8 @@ HttpResponse PredictService::HandlePredict(const HttpRequest& request) {
       // back as a 400, not abort the process inside the tensor library.
       if (!extent.Is(JsonValue::Kind::kNumber) || extent.number < 1 ||
           extent.number > 1e9) {
-        return ErrorResponse(400,
-                             "'shape' must be an array of positive integers");
+        return fail(ErrorResponse(
+            400, "'shape' must be an array of positive integers"));
       }
       shape.push_back(static_cast<int64_t>(extent.number));
     }
@@ -87,27 +180,38 @@ HttpResponse PredictService::HandlePredict(const HttpRequest& request) {
   for (int64_t extent : shape) numel *= extent;
   if (static_cast<int64_t>(window_json->items.size()) != numel ||
       numel <= 0) {
-    return ErrorResponse(
+    return fail(ErrorResponse(
         400, "'window' holds " + std::to_string(window_json->items.size()) +
-                 " values but the shape needs " + std::to_string(numel));
+                 " values but the shape needs " + std::to_string(numel)));
   }
   std::vector<float> values;
   values.reserve(window_json->items.size());
   for (const JsonValue& item : window_json->items) {
     if (!item.Is(JsonValue::Kind::kNumber)) {
-      return ErrorResponse(400, "'window' must contain only numbers");
+      return fail(ErrorResponse(400, "'window' must contain only numbers"));
     }
     values.push_back(static_cast<float>(item.number));
   }
+  Tensor window = Tensor::FromVector(std::move(shape), std::move(values));
+  context.AddStage(Stage::kBodyParse, body_timer.ElapsedMicros());
 
   Result<InferenceEngine::Prediction> prediction =
-      engine_->Predict(Tensor::FromVector(std::move(shape), std::move(values)));
+      engine_->Predict(std::move(window));
   if (!prediction.ok()) {
-    return ErrorResponse(StatusToHttp(prediction.status()),
-                         prediction.status().message());
+    HttpResponse response = ErrorResponse(StatusToHttp(prediction.status()),
+                                          prediction.status().message());
+    PublishStages(context, t0_us);
+    AttachTrace(std::move(context), &response);
+    return response;
   }
 
   const InferenceEngine::Prediction& p = prediction.value();
+  context.AddStage(Stage::kCacheLookup, p.cache_lookup_us);
+  context.AddStage(Stage::kQueueWait, p.queue_wait_us);
+  context.AddStage(Stage::kBatchAssembly, p.batch_assembly_us);
+  context.AddStage(Stage::kInference, p.inference_us);
+
+  Timer serialize_timer;
   std::string body = "{\"model\": " + JsonQuote(manifest.model) +
                      ", \"shape\": [" + std::to_string(p.values.Size(0)) +
                      ", " + std::to_string(p.values.Size(1)) +
@@ -118,9 +222,16 @@ HttpResponse PredictService::HandlePredict(const HttpRequest& request) {
   }
   body += "], \"cache_hit\": ";
   body += p.cache_hit ? "true" : "false";
-  body += ", \"latency_us\": " + DoubleText(p.latency_us) + "}";
+  body += ", \"latency_us\": " + DoubleText(p.latency_us);
+  body += ", \"trace_id\": " + JsonQuote(context.trace_id) + "}";
+  context.AddStage(Stage::kSerialize, serialize_timer.ElapsedMicros());
+  PublishStages(context, t0_us);
+
   HttpResponse response;
   response.body = std::move(body);
+  response.cache_hit = p.cache_hit;
+  response.batch_size = p.batch_size;
+  AttachTrace(std::move(context), &response);
   return response;
 }
 
@@ -141,6 +252,48 @@ HttpResponse PredictService::HandleMetrics(const HttpRequest& request) {
   auto& registry = obs::MetricsRegistry::Global();
   const PredictionCache::Stats cache = engine_->cache_stats();
   const MicroBatcher::Stats batcher = engine_->batcher_stats();
+
+  // Content negotiation: Prometheus text exposition when the client asks
+  // for text/plain or OpenMetrics; the JSON document stays the default so
+  // existing scrapers (loadgen, trace_check) keep working unchanged.
+  const std::string& accept = HeaderOrEmpty(request, "accept");
+  const bool prometheus =
+      accept.find("text/plain") != std::string::npos ||
+      accept.find("openmetrics") != std::string::npos;
+  if (prometheus) {
+    std::ostringstream body;
+    for (const auto& [name, value] : registry.Counters()) {
+      PrometheusScalar(body, PrometheusName(name), "counter",
+                       std::to_string(value));
+    }
+    for (const auto& [name, value] : registry.Gauges()) {
+      PrometheusScalar(body, PrometheusName(name), "gauge",
+                       DoubleText(value));
+    }
+    for (const auto& [name, s] : registry.Histograms()) {
+      const std::string metric = PrometheusName(name);
+      body << "# TYPE " << metric << " summary\n"
+           << metric << "{quantile=\"0.5\"} " << DoubleText(s.p50) << '\n'
+           << metric << "{quantile=\"0.95\"} " << DoubleText(s.p95) << '\n'
+           << metric << "{quantile=\"0.99\"} " << DoubleText(s.p99) << '\n'
+           << metric << "_sum "
+           << DoubleText(s.mean * static_cast<double>(s.count)) << '\n'
+           << metric << "_count " << s.count << '\n';
+    }
+    PrometheusScalar(body, "sthsl_serve_cache_entries", "gauge",
+                     std::to_string(cache.entries));
+    PrometheusScalar(body, "sthsl_serve_cache_evictions", "counter",
+                     std::to_string(cache.evictions));
+    PrometheusScalar(body, "sthsl_serve_batcher_batches", "counter",
+                     std::to_string(batcher.batches));
+    PrometheusScalar(body, "sthsl_serve_batcher_requests", "counter",
+                     std::to_string(batcher.requests));
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = body.str();
+    return response;
+  }
+
   std::ostringstream body;
   body << "{\"counters\": {";
   bool first = true;
@@ -163,10 +316,41 @@ HttpResponse PredictService::HandleMetrics(const HttpRequest& request) {
          << ", \"max\": " << DoubleText(snapshot.max)
          << ", \"mean\": " << DoubleText(snapshot.mean)
          << ", \"p50\": " << DoubleText(snapshot.p50)
-         << ", \"p95\": " << DoubleText(snapshot.p95) << "}";
+         << ", \"p95\": " << DoubleText(snapshot.p95)
+         << ", \"p99\": " << DoubleText(snapshot.p99) << "}";
     first = false;
   }
   body << "}, \"cache\": {\"hits\": " << cache.hits
+       << ", \"misses\": " << cache.misses
+       << ", \"evictions\": " << cache.evictions
+       << ", \"entries\": " << cache.entries
+       << "}, \"batcher\": {\"batches\": " << batcher.batches
+       << ", \"requests\": " << batcher.requests
+       << ", \"size_flushes\": " << batcher.size_flushes
+       << ", \"timeout_flushes\": " << batcher.timeout_flushes
+       << ", \"drain_flushes\": " << batcher.drain_flushes << "}}";
+  HttpResponse response;
+  response.body = body.str();
+  return response;
+}
+
+HttpResponse PredictService::HandleStatusz(const HttpRequest& request) {
+  const BundleManifest& m = engine_->manifest();
+  const PredictionCache::Stats cache = engine_->cache_stats();
+  const MicroBatcher::Stats batcher = engine_->batcher_stats();
+  std::ostringstream body;
+  body << "{\"uptime_s\": " << DoubleText(uptime_.ElapsedMicros() / 1e6)
+       << ", \"bundle\": {\"model\": " << JsonQuote(m.model)
+       << ", \"city\": " << JsonQuote(m.city)
+       << ", \"git_hash\": " << JsonQuote(m.git_hash)
+       << ", \"created_utc\": " << JsonQuote(m.created_utc)
+       << ", \"tool\": " << JsonQuote(m.tool)
+       << "}, \"exec_threads\": " << exec::ThreadCount()
+       << ", \"trace_enabled\": "
+       << (obs::TraceEnabled() ? "true" : "false")
+       << ", \"access_log_enabled\": "
+       << (AccessLog::Global().enabled() ? "true" : "false")
+       << ", \"cache\": {\"hits\": " << cache.hits
        << ", \"misses\": " << cache.misses
        << ", \"evictions\": " << cache.evictions
        << ", \"entries\": " << cache.entries

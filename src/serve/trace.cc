@@ -1,0 +1,141 @@
+#include "serve/trace.h"
+
+#include <mutex>
+#include <random>
+
+namespace sthsl::serve {
+namespace {
+
+bool IsLowerHex(const std::string& text) {
+  for (char c : text) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return !text.empty();
+}
+
+bool AllZero(const std::string& text) {
+  for (char c : text) {
+    if (c != '0') return false;
+  }
+  return true;
+}
+
+std::string HexDigits(uint64_t value, int digits) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(static_cast<size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+// splitmix64: tiny, full-period, and seedable — plenty for trace ids, which
+// need uniqueness within a process, not cryptographic strength.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct IdGenerator {
+  std::mutex mu;
+  uint64_t state = 0;  // guarded by mu
+};
+
+IdGenerator& Generator() {
+  static IdGenerator* generator = [] {
+    auto* g = new IdGenerator();
+    std::random_device device;
+    g->state = (static_cast<uint64_t>(device()) << 32) ^ device();
+    return g;
+  }();
+  return *generator;
+}
+
+uint64_t NextNonZeroId() {
+  IdGenerator& generator = Generator();
+  std::lock_guard<std::mutex> lock(generator.mu);
+  uint64_t id = 0;
+  while (id == 0) id = SplitMix64(&generator.state);
+  return id;
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kHeaderParse:
+      return "header_parse";
+    case Stage::kBodyParse:
+      return "body_parse";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kBatchAssembly:
+      return "batch_assembly";
+    case Stage::kInference:
+      return "inference";
+    case Stage::kSerialize:
+      return "serialize";
+  }
+  return "unknown";
+}
+
+std::string RequestContext::TraceparentHeader() const {
+  std::string out;
+  out.reserve(2 + 1 + 32 + 1 + 16 + 1 + 2);
+  out += "00-";
+  out += trace_id;
+  out += '-';
+  out += span_id;
+  out += "-01";
+  return out;
+}
+
+bool ParseTraceparent(const std::string& header, std::string* trace_id,
+                      std::string* parent_span_id) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2) == 55 chars.
+  if (header.size() != 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return false;
+  const std::string version = header.substr(0, 2);
+  const std::string trace = header.substr(3, 32);
+  const std::string parent = header.substr(36, 16);
+  const std::string flags = header.substr(53, 2);
+  if (!IsLowerHex(version) || !IsLowerHex(trace) || !IsLowerHex(parent) ||
+      !IsLowerHex(flags)) {
+    return false;
+  }
+  // Version ff is reserved-invalid; all-zero ids are explicitly invalid.
+  if (version == "ff" || AllZero(trace) || AllZero(parent)) return false;
+  *trace_id = trace;
+  *parent_span_id = parent;
+  return true;
+}
+
+RequestContext MakeRequestContext(const std::string& traceparent_header) {
+  RequestContext context;
+  std::string parent_span;
+  if (!traceparent_header.empty() &&
+      ParseTraceparent(traceparent_header, &context.trace_id, &parent_span)) {
+    context.propagated = true;
+  } else {
+    context.trace_id =
+        HexDigits(NextNonZeroId(), 16) + HexDigits(NextNonZeroId(), 16);
+  }
+  // Always a fresh span id: this server is a new span in the trace, whether
+  // or not the trace id was inherited.
+  context.span_id = HexDigits(NextNonZeroId(), 16);
+  return context;
+}
+
+void SeedTraceIds(uint64_t seed) {
+  IdGenerator& generator = Generator();
+  std::lock_guard<std::mutex> lock(generator.mu);
+  generator.state = seed;
+}
+
+}  // namespace sthsl::serve

@@ -118,9 +118,10 @@ void PrintObsSummary(std::FILE* out) {
     for (const auto& [name, snapshot] : histograms) {
       std::fprintf(out,
                    "  hist    %-26s count=%" PRId64
-                   " min=%.6g mean=%.6g p50=%.6g p95=%.6g max=%.6g\n",
+                   " min=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g "
+                   "max=%.6g\n",
                    name.c_str(), snapshot.count, snapshot.min, snapshot.mean,
-                   snapshot.p50, snapshot.p95, snapshot.max);
+                   snapshot.p50, snapshot.p95, snapshot.p99, snapshot.max);
     }
   }
   const int64_t peak = PeakTensorBytes();
@@ -184,7 +185,8 @@ std::string MetricsJson() {
     json << (first ? "" : ",") << "\"" << JsonEscape(name)
          << "\":{\"count\":" << s.count << ",\"min\":" << s.min
          << ",\"max\":" << s.max << ",\"mean\":" << s.mean
-         << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95 << "}";
+         << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95
+         << ",\"p99\":" << s.p99 << "}";
     first = false;
   }
   json << "},\"ops\":[";

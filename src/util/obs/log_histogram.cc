@@ -1,0 +1,130 @@
+#include "util/obs/log_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sthsl::obs {
+namespace {
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int LogHistogram::BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN included
+  int exponent = std::ilogb(value);
+  if (exponent >= kOctaves) return kNumBuckets - 1;
+  const double octave_base = std::ldexp(1.0, exponent);
+  // Linear position inside the octave, in [0, 1).
+  const double frac = value / octave_base - 1.0;
+  int sub = static_cast<int>(frac * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + exponent * kSubBuckets + sub;
+}
+
+double LogHistogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0.0;
+  const int exponent = (bucket - 1) / kSubBuckets;
+  const int sub = (bucket - 1) % kSubBuckets;
+  return std::ldexp(1.0, exponent) *
+         (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+void LogHistogram::Record(double value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  const double finite = std::isfinite(value) ? value : 0.0;
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First sample seeds min/max; racing recorders still converge because
+    // the CAS loops below run unconditionally afterwards.
+    min_.store(finite, std::memory_order_relaxed);
+    max_.store(finite, std::memory_order_relaxed);
+  }
+  AtomicAdd(sum_, finite);
+  AtomicMin(min_, finite);
+  AtomicMax(max_, finite);
+}
+
+Histogram::Snapshot LogHistogram::GetSnapshot() const {
+  Histogram::Snapshot snapshot;
+  // Read the buckets once; their sum is the authoritative count so the
+  // percentile walk below is self-consistent even under concurrent writes.
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<size_t>(i)] = bucket_count(i);
+    total += counts[static_cast<size_t>(i)];
+  }
+  if (total == 0) return snapshot;
+  snapshot.count = total;
+  snapshot.min = min_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  snapshot.mean =
+      sum_.load(std::memory_order_relaxed) / static_cast<double>(total);
+
+  // Nearest-rank percentile over buckets; the estimate is the midpoint of
+  // the bucket holding the rank, clamped to the observed value range.
+  const auto percentile = [&](double p) {
+    const int64_t rank = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(p * static_cast<double>(total))));
+    int64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += counts[static_cast<size_t>(i)];
+      if (seen >= rank) {
+        const double lo = BucketLowerBound(i);
+        const double hi = i + 1 < kNumBuckets ? BucketLowerBound(i + 1)
+                                              : lo;
+        const double mid = lo + (hi - lo) / 2.0;
+        return std::clamp(mid, snapshot.min, snapshot.max);
+      }
+    }
+    return snapshot.max;
+  };
+  snapshot.p50 = percentile(0.50);
+  snapshot.p95 = percentile(0.95);
+  snapshot.p99 = percentile(0.99);
+  return snapshot;
+}
+
+void LogHistogram::MergeFrom(const LogHistogram& other) {
+  int64_t added = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = other.bucket_count(i);
+    if (n == 0) continue;
+    buckets_[static_cast<size_t>(i)].fetch_add(n, std::memory_order_relaxed);
+    added += n;
+  }
+  if (added == 0) return;
+  if (count_.fetch_add(added, std::memory_order_relaxed) == 0) {
+    min_.store(other.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+  AtomicAdd(sum_, other.sum_.load(std::memory_order_relaxed));
+  AtomicMin(min_, other.min_.load(std::memory_order_relaxed));
+  AtomicMax(max_, other.max_.load(std::memory_order_relaxed));
+}
+
+}  // namespace sthsl::obs

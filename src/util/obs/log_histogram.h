@@ -1,0 +1,73 @@
+#ifndef STHSL_UTIL_OBS_LOG_HISTOGRAM_H_
+#define STHSL_UTIL_OBS_LOG_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/obs/metrics.h"
+
+namespace sthsl::obs {
+
+/// Bounded log-linear (HDR-style) histogram for high-rate hot paths: the
+/// serving tier records every request latency into one of these instead of
+/// the sample-accumulating Histogram, so metric memory stays constant no
+/// matter how many requests are served.
+///
+/// Layout: bucket 0 covers [0, 1); above that each power-of-two octave
+/// [2^e, 2^(e+1)) is split into kSubBuckets equal-width linear sub-buckets,
+/// for kOctaves octaves. With kSubBuckets = 16 a bucket is 1/16th of its
+/// octave wide, so any recorded value v >= 1 lands in a bucket whose width
+/// is at most v/16 — quantile estimates (reported at the bucket midpoint,
+/// clamped to the observed [min, max]) carry a relative error of at most
+/// 1/(2*16) ~= 3.125%. Values in [0, 1) are reported with absolute error
+/// <= 0.5; values at or above 2^kOctaves clamp into the last bucket.
+///
+/// Recording is lock-free: one relaxed fetch_add on the bucket counter plus
+/// compare-exchange loops for sum/min/max. Snapshots and merges read the
+/// counters without stopping writers, so a snapshot taken under concurrent
+/// recording is a consistent-enough view, not a linearizable one.
+class LogHistogram {
+ public:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kOctaves = 44;  // covers [1, 2^44) ~= 2e13
+  static constexpr int kNumBuckets = 1 + kOctaves * kSubBuckets;
+
+  LogHistogram() = default;
+
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Records one value. Negative and NaN values count into bucket 0.
+  void Record(double value);
+
+  /// count/min/max/mean are exact (modulo concurrent-writer skew);
+  /// percentiles are bucket-midpoint estimates with the error bound above.
+  Histogram::Snapshot GetSnapshot() const;
+
+  /// Adds every recorded sample of `other` into this histogram. Bucket
+  /// addition commutes and associates, so merging per-shard or per-process
+  /// histograms in any order yields the same result.
+  void MergeFrom(const LogHistogram& other);
+
+  /// The bucket a value falls into (exposed for property tests).
+  static int BucketIndex(double value);
+  /// Inclusive lower edge of `bucket`; the next bucket's edge bounds it.
+  static double BucketLowerBound(int bucket);
+
+  int64_t bucket_count(int bucket) const {
+    return buckets_[static_cast<size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace sthsl::obs
+
+#endif  // STHSL_UTIL_OBS_LOG_HISTOGRAM_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/obs/log_histogram.h"
+
 namespace sthsl::obs {
 
 void Histogram::Record(double value) {
@@ -36,6 +38,7 @@ Histogram::Snapshot Histogram::GetSnapshot() const {
   };
   snapshot.p50 = percentile(0.50);
   snapshot.p95 = percentile(0.95);
+  snapshot.p99 = percentile(0.99);
   return snapshot;
 }
 
@@ -43,6 +46,9 @@ MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -62,6 +68,13 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+LogHistogram& MetricsRegistry::GetLogHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = log_histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>();
   return *slot;
 }
 
@@ -90,10 +103,17 @@ std::vector<std::pair<std::string, Histogram::Snapshot>>
 MetricsRegistry::Histograms() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, Histogram::Snapshot>> out;
-  out.reserve(histograms_.size());
+  out.reserve(histograms_.size() + log_histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
     out.emplace_back(name, histogram->GetSnapshot());
   }
+  for (const auto& [name, histogram] : log_histograms_) {
+    out.emplace_back(name, histogram->GetSnapshot());
+  }
+  // Both maps iterate name-sorted; one stable sort restores global order.
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
   return out;
 }
 
@@ -102,6 +122,7 @@ void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  log_histograms_.clear();
 }
 
 }  // namespace sthsl::obs

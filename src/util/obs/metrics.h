@@ -43,6 +43,8 @@ class Gauge {
 
 /// Sample-accumulating metric with nearest-rank percentiles. Samples are
 /// kept exactly (epoch-scale cardinality); Record is O(1), Snapshot sorts.
+/// High-rate paths (serving) use LogHistogram instead — same Snapshot type,
+/// constant memory, bounded-error percentiles (see log_histogram.h).
 class Histogram {
  public:
   struct Snapshot {
@@ -52,6 +54,7 @@ class Histogram {
     double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
+    double p99 = 0.0;
   };
 
   void Record(double value);
@@ -62,16 +65,25 @@ class Histogram {
   std::vector<double> samples_;
 };
 
+class LogHistogram;
+
 class MetricsRegistry {
  public:
   /// The process-wide registry (leaked singleton, safe at exit time).
   static MetricsRegistry& Global();
 
+  MetricsRegistry();
+  ~MetricsRegistry();
+
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
+  /// Bounded log-linear histogram for hot paths (see log_histogram.h).
+  /// Shares the histogram namespace: Histograms() reports both kinds.
+  LogHistogram& GetLogHistogram(const std::string& name);
 
-  /// Name-sorted snapshots for the exporters.
+  /// Name-sorted snapshots for the exporters. Histograms() covers the exact
+  /// and the log-linear instruments in one listing.
   std::vector<std::pair<std::string, int64_t>> Counters() const;
   std::vector<std::pair<std::string, double>> Gauges() const;
   std::vector<std::pair<std::string, Histogram::Snapshot>> Histograms() const;
@@ -85,6 +97,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> log_histograms_;
 };
 
 }  // namespace sthsl::obs

@@ -200,6 +200,13 @@ BackwardPassGuard::~BackwardPassGuard() {
   t_boundary_us = TraceNowMicros();
 }
 
+void RecordServeSpan(const char* name, double start_us, double dur_us) {
+  if (!TraceEnabled()) return;
+  State& state = S();
+  std::lock_guard<std::mutex> lock(state.mu);
+  AddEventLocked(state, name, "serve", start_us, dur_us, ThisTid());
+}
+
 void BeginScope(const char* name) {
   ScopeFrame frame;
   frame.name = name;

@@ -64,7 +64,7 @@ struct ScopeProfile {
 /// One slice of the Chrome trace ("ph":"X" complete event).
 struct TraceEvent {
   std::string name;
-  const char* category;  // "op", "backward" or "phase"
+  const char* category;  // "op", "backward", "phase", "exec" or "serve"
   double ts_us;          // start, microseconds since the process trace epoch
   double dur_us;
   int tid;
@@ -98,6 +98,13 @@ class BackwardPassGuard {
  private:
   bool active_;
 };
+
+/// Appends one completed span to the trace buffer under the "serve"
+/// category, without touching any thread's forward-op boundary. Used by the
+/// serving tier for per-request stage spans (header parse, cache lookup,
+/// inference, ...). `name` must be a string literal or otherwise outlive the
+/// process trace buffer; single-branch no-op when tracing is disabled.
+void RecordServeSpan(const char* name, double start_us, double dur_us);
 
 /// Opens / closes a named region on this thread's scope stack. Regions must
 /// nest; prefer the STHSL_TRACE_SCOPE macro. `name` must outlive the scope

@@ -13,6 +13,7 @@
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/obs/export.h"
+#include "util/obs/log_histogram.h"
 #include "util/obs/metrics.h"
 #include "util/obs/obs.h"
 #include "util/rng.h"
@@ -94,6 +95,7 @@ TEST(MetricsTest, HistogramNearestRankPercentiles) {
   EXPECT_DOUBLE_EQ(s.mean, 50.5);
   EXPECT_EQ(s.p50, 50.0);  // nearest-rank: ceil(0.50 * 100) = rank 50
   EXPECT_EQ(s.p95, 95.0);
+  EXPECT_EQ(s.p99, 99.0);
 }
 
 TEST(MetricsTest, HistogramSingleSample) {
@@ -106,6 +108,110 @@ TEST(MetricsTest, HistogramSingleSample) {
   EXPECT_EQ(s.max, 7.0);
   EXPECT_EQ(s.p50, 7.0);
   EXPECT_EQ(s.p95, 7.0);
+  EXPECT_EQ(s.p99, 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram: bounded log-linear histogram for serving hot paths.
+
+TEST(LogHistogramTest, QuantileErrorStaysWithinBucketBound) {
+  ObsSandbox sandbox(/*enabled=*/false);
+  obs::LogHistogram hist;
+  // Values 1..10000: exact quantiles are known, the histogram's estimate
+  // must be within its documented relative error of 1/(2*16) = 3.125%.
+  for (int i = 1; i <= 10000; ++i) hist.Record(static_cast<double>(i));
+  const obs::Histogram::Snapshot s = hist.GetSnapshot();
+  EXPECT_EQ(s.count, 10000);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 10000.0);
+  EXPECT_NEAR(s.mean, 5000.5, 1e-6);  // sum is exact, not bucketed
+  const double kRelError = 1.0 / 32.0;
+  EXPECT_NEAR(s.p50, 5000.0, 5000.0 * kRelError);
+  EXPECT_NEAR(s.p95, 9500.0, 9500.0 * kRelError);
+  EXPECT_NEAR(s.p99, 9900.0, 9900.0 * kRelError);
+}
+
+TEST(LogHistogramTest, SubUnitAndExtremeValuesClampToEdgeBuckets) {
+  obs::LogHistogram hist;
+  hist.Record(0.0);
+  hist.Record(0.5);
+  hist.Record(-3.0);  // negative: clamps into the [0,1) bucket
+  hist.Record(1e300);
+  const obs::Histogram::Snapshot s = hist.GetSnapshot();
+  EXPECT_EQ(s.count, 4);
+  EXPECT_EQ(s.min, -3.0);
+  EXPECT_EQ(s.max, 1e300);
+  // Quantile estimates stay inside the observed range even for clamped
+  // values far outside the bucketed octaves.
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(LogHistogramTest, MergeMatchesRecordingEverythingInOne) {
+  obs::LogHistogram left;
+  obs::LogHistogram right;
+  obs::LogHistogram all;
+  for (int i = 1; i <= 500; ++i) {
+    const double value = static_cast<double>(i * 7 % 997);
+    (i % 2 == 0 ? left : right).Record(value);
+    all.Record(value);
+  }
+  obs::LogHistogram merged;
+  merged.MergeFrom(left);
+  merged.MergeFrom(right);
+  const obs::Histogram::Snapshot a = merged.GetSnapshot();
+  const obs::Histogram::Snapshot b = all.GetSnapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.p50, b.p50);  // identical buckets → identical quantiles
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+
+  // Merge is associative: (left ⊕ right) ⊕ left == left ⊕ (right ⊕ left).
+  obs::LogHistogram lr;
+  lr.MergeFrom(left);
+  lr.MergeFrom(right);
+  lr.MergeFrom(left);
+  obs::LogHistogram rl;
+  rl.MergeFrom(right);
+  rl.MergeFrom(left);
+  obs::LogHistogram assoc;
+  assoc.MergeFrom(left);
+  assoc.MergeFrom(rl);
+  for (int i = 0; i < obs::LogHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(lr.bucket_count(i), assoc.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogramTest, BucketIndexIsMonotoneAndBounded) {
+  int previous = -1;
+  for (double value = 0.25; value < 1e9; value *= 1.37) {
+    const int index = obs::LogHistogram::BucketIndex(value);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, obs::LogHistogram::kNumBuckets);
+    ASSERT_GE(index, previous) << "value " << value;
+    // The bucket's lower bound never exceeds the value it holds.
+    ASSERT_LE(obs::LogHistogram::BucketLowerBound(index), value);
+    previous = index;
+  }
+}
+
+TEST(LogHistogramTest, RegistryExposesLogHistogramsAlongsideExact) {
+  ObsSandbox sandbox(/*enabled=*/false);
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetHistogram("test/exact").Record(5.0);
+  registry.GetLogHistogram("test/bounded").Record(5.0);
+  const auto histograms = registry.Histograms();
+  ASSERT_EQ(histograms.size(), 2u);
+  EXPECT_EQ(histograms[0].first, "test/bounded");  // name-sorted
+  EXPECT_EQ(histograms[1].first, "test/exact");
+  EXPECT_EQ(histograms[0].second.count, 1);
+  EXPECT_EQ(histograms[1].second.count, 1);
+  // Same instrument on repeat lookup.
+  registry.GetLogHistogram("test/bounded").Record(6.0);
+  EXPECT_EQ(registry.GetLogHistogram("test/bounded").GetSnapshot().count, 2);
 }
 
 TEST(MetricsTest, RegistrySnapshotsAreNameSorted) {

@@ -25,12 +25,14 @@
 #include <gtest/gtest.h>
 
 #include "data/generator.h"
+#include "serve/access_log.h"
 #include "serve/batcher.h"
 #include "serve/bundle.h"
 #include "serve/cache.h"
 #include "serve/engine.h"
 #include "serve/http.h"
 #include "serve/service.h"
+#include "serve/trace.h"
 #include "util/json_mini.h"
 
 namespace sthsl::serve {
@@ -49,14 +51,17 @@ TEST(MicroBatcherTest, SizeBoundFlushesFullBatch) {
   config.worker_threads = 1;
   MicroBatcher batcher(config, EchoBatch());
 
-  std::vector<std::future<Tensor>> futures;
+  std::vector<std::future<MicroBatcher::Ticket>> futures;
   for (int i = 0; i < 4; ++i) {
     futures.push_back(batcher.Submit(MakeWindow(static_cast<float>(i))));
   }
   for (int i = 0; i < 4; ++i) {
-    Tensor result = futures[static_cast<size_t>(i)].get();
-    ASSERT_TRUE(result.Defined());
-    EXPECT_EQ(result.Data()[0], static_cast<float>(i));  // order preserved
+    const MicroBatcher::Ticket ticket = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(ticket.value.Defined());
+    EXPECT_EQ(ticket.value.Data()[0], static_cast<float>(i));  // order kept
+    EXPECT_EQ(ticket.batch_size, 4);  // all four rode in one batch
+    EXPECT_GE(ticket.queue_wait_us, 0.0);
+    EXPECT_GE(ticket.inference_us, 0.0);
   }
   const MicroBatcher::Stats stats = batcher.GetStats();
   EXPECT_EQ(stats.requests, 4);
@@ -72,9 +77,12 @@ TEST(MicroBatcherTest, WaitBoundFlushesLoneRequest) {
   config.worker_threads = 1;
   MicroBatcher batcher(config, EchoBatch());
 
-  Tensor result = batcher.Submit(MakeWindow(7.0f)).get();
-  ASSERT_TRUE(result.Defined());
-  EXPECT_EQ(result.Data()[0], 7.0f);
+  const MicroBatcher::Ticket ticket = batcher.Submit(MakeWindow(7.0f)).get();
+  ASSERT_TRUE(ticket.value.Defined());
+  EXPECT_EQ(ticket.value.Data()[0], 7.0f);
+  EXPECT_EQ(ticket.batch_size, 1);
+  // The lone request waited out (most of) the flush deadline.
+  EXPECT_GT(ticket.queue_wait_us, 0.0);
   const MicroBatcher::Stats stats = batcher.GetStats();
   EXPECT_EQ(stats.requests, 1);
   EXPECT_EQ(stats.timeout_flushes, 1);
@@ -88,22 +96,24 @@ TEST(MicroBatcherTest, ShutdownDrainsQueueAndRejectsLateSubmits) {
   config.worker_threads = 2;
   MicroBatcher batcher(config, EchoBatch());
 
-  std::vector<std::future<Tensor>> futures;
+  std::vector<std::future<MicroBatcher::Ticket>> futures;
   for (int i = 0; i < 3; ++i) {
     futures.push_back(batcher.Submit(MakeWindow(static_cast<float>(i))));
   }
   batcher.Shutdown();
   for (int i = 0; i < 3; ++i) {
-    Tensor result = futures[static_cast<size_t>(i)].get();
-    ASSERT_TRUE(result.Defined());  // drained, not dropped
-    EXPECT_EQ(result.Data()[0], static_cast<float>(i));
+    const MicroBatcher::Ticket ticket = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(ticket.value.Defined());  // drained, not dropped
+    EXPECT_EQ(ticket.value.Data()[0], static_cast<float>(i));
   }
   const MicroBatcher::Stats stats = batcher.GetStats();
   EXPECT_EQ(stats.requests, 3);
   EXPECT_GE(stats.drain_flushes, 1);
 
   // Submitting after shutdown resolves immediately with an undefined Tensor.
-  EXPECT_FALSE(batcher.Submit(MakeWindow(9.0f)).get().Defined());
+  const MicroBatcher::Ticket late = batcher.Submit(MakeWindow(9.0f)).get();
+  EXPECT_FALSE(late.value.Defined());
+  EXPECT_EQ(late.batch_size, 0);
   batcher.Shutdown();  // idempotent
 }
 
@@ -207,6 +217,177 @@ TEST(HttpParseTest, OversizedBodyIsPayloadTooLarge) {
   EXPECT_EQ(ParseHttpRequest("POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
                              /*max_body_bytes=*/99, &request, &consumed),
             HttpParse::kPayloadTooLarge);
+}
+
+TEST(TraceparentTest, ParsesWellFormedHeader) {
+  std::string trace_id;
+  std::string parent;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &trace_id,
+      &parent));
+  EXPECT_EQ(trace_id, "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(parent, "b7ad6b7169203331");
+}
+
+TEST(TraceparentTest, RejectsMalformedHeaders) {
+  std::string trace_id;
+  std::string parent;
+  const char* bad[] = {
+      "",
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",       // short
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x",  // long
+      "00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",    // non-hex
+      "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",    // upper
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01",    // zero
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",    // zero
+      "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",    // ver ff
+      "00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",    // sep
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(ParseTraceparent(header, &trace_id, &parent)) << header;
+  }
+}
+
+TEST(TraceparentTest, ContextAdoptsValidHeaderAndReplacesInvalid) {
+  const std::string valid =
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  RequestContext adopted = MakeRequestContext(valid);
+  EXPECT_TRUE(adopted.propagated);
+  EXPECT_EQ(adopted.trace_id, "0af7651916cd43dd8448eb211c80319c");
+  // Fresh span id for this hop, not the parent's.
+  EXPECT_EQ(adopted.span_id.size(), 16u);
+  EXPECT_NE(adopted.span_id, "b7ad6b7169203331");
+  EXPECT_EQ(adopted.TraceparentHeader(),
+            "00-0af7651916cd43dd8448eb211c80319c-" + adopted.span_id + "-01");
+
+  RequestContext generated = MakeRequestContext("garbage header");
+  EXPECT_FALSE(generated.propagated);
+  EXPECT_EQ(generated.trace_id.size(), 32u);
+  EXPECT_NE(generated.trace_id, std::string(32, '0'));
+}
+
+TEST(TraceparentTest, SeededGenerationIsDeterministic) {
+  SeedTraceIds(12345);
+  const RequestContext first = MakeRequestContext("");
+  const RequestContext second = MakeRequestContext("");
+  SeedTraceIds(12345);
+  const RequestContext replay_first = MakeRequestContext("");
+  const RequestContext replay_second = MakeRequestContext("");
+  EXPECT_EQ(first.trace_id, replay_first.trace_id);
+  EXPECT_EQ(first.span_id, replay_first.span_id);
+  EXPECT_EQ(second.trace_id, replay_second.trace_id);
+  EXPECT_NE(first.trace_id, second.trace_id);
+}
+
+// ---------------------------------------------------------------------------
+// Access log.
+
+RequestContext TestContext() {
+  RequestContext context;
+  context.trace_id = "0af7651916cd43dd8448eb211c80319c";
+  context.span_id = "b7ad6b7169203331";
+  for (int i = 0; i < kNumStages; ++i) {
+    context.stage_us[static_cast<size_t>(i)] = 1.0;
+  }
+  return context;
+}
+
+AccessLog::Record TestRecord(const RequestContext& context, double total_us) {
+  AccessLog::Record record;
+  record.context = &context;
+  record.method = "POST";
+  record.path = "/v1/predict";
+  record.status = 200;
+  record.bytes = 42;
+  record.total_us = total_us;
+  record.cache_hit = false;
+  record.batch_size = 1;
+  return record;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(AccessLogTest, WritesOneJsonObjectPerRecord) {
+  const std::string path = "/tmp/sthsl_access_log_test.jsonl";
+  std::remove(path.c_str());
+  AccessLog& log = AccessLog::Global();
+  log.Configure(path, /*max_bytes=*/1 << 20, /*slow_threshold_us=*/0);
+  ASSERT_TRUE(log.enabled());
+
+  const RequestContext context = TestContext();
+  log.Write(TestRecord(context, 50.0));
+  log.Write(TestRecord(context, 60.0));
+  log.Flush();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  sthsl::json::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(sthsl::json::JsonParser(lines[0]).Parse(&root, &error)) << error;
+  EXPECT_EQ(root.FindOfKind("trace_id", sthsl::json::JsonValue::Kind::kString)
+                ->text,
+            context.trace_id);
+  EXPECT_EQ(
+      root.FindOfKind("status", sthsl::json::JsonValue::Kind::kNumber)->number,
+      200.0);
+  const sthsl::json::JsonValue* stages =
+      root.FindOfKind("stages", sthsl::json::JsonValue::Kind::kObject);
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->members.size(), static_cast<size_t>(kNumStages));
+  EXPECT_EQ(lines[0].find("\"slow\""), std::string::npos);
+
+  log.Configure("", 0, 0);  // disable for other tests
+  std::remove(path.c_str());
+}
+
+TEST(AccessLogTest, RotatesWhenSizeCapIsExceeded) {
+  const std::string path = "/tmp/sthsl_access_log_rotate.jsonl";
+  const std::string rotated = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+  AccessLog& log = AccessLog::Global();
+  // Cap far below one record's size: every write after the first rotates.
+  log.Configure(path, /*max_bytes=*/512, /*slow_threshold_us=*/0);
+
+  const RequestContext context = TestContext();
+  for (int i = 0; i < 6; ++i) log.Write(TestRecord(context, 50.0));
+  log.Flush();
+
+  // Both generations exist, each non-empty, each holding whole lines.
+  EXPECT_FALSE(ReadLines(path).empty());
+  const std::vector<std::string> old_lines = ReadLines(rotated);
+  ASSERT_FALSE(old_lines.empty());
+  EXPECT_EQ(old_lines.back().back(), '}');  // no torn record at the cut
+
+  log.Configure("", 0, 0);
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+TEST(AccessLogTest, SlowRequestsAreMarked) {
+  const std::string path = "/tmp/sthsl_access_log_slow.jsonl";
+  std::remove(path.c_str());
+  AccessLog& log = AccessLog::Global();
+  log.Configure(path, 1 << 20, /*slow_threshold_us=*/100.0);
+
+  const RequestContext context = TestContext();
+  log.Write(TestRecord(context, 50.0));    // under threshold
+  log.Write(TestRecord(context, 5000.0));  // over: marked slow
+  log.Flush();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("\"slow\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"slow\":true"), std::string::npos) << lines[1];
+
+  log.Configure("", 0, 0);
+  std::remove(path.c_str());
 }
 
 TEST(JsonEscapeTest, ControlCharactersEscaped) {
@@ -336,6 +517,49 @@ std::string RenderPost(const std::string& target, const std::string& body) {
          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
 }
 
+// Like HttpRoundTrip but returns the raw response (status line + headers +
+// body) so tests can inspect response headers such as `traceparent`.
+std::string HttpRoundTripRaw(int port, const std::string& request_text) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  size_t sent = 0;
+  while (sent < request_text.size()) {
+    const ssize_t n =
+        ::send(fd, request_text.data() + sent, request_text.size() - sent, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "send failed";
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[16384];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// The value of `header` ("name: value\r\n") in a raw response, or "".
+std::string ResponseHeader(const std::string& raw, const std::string& name) {
+  const size_t head_end = raw.find("\r\n\r\n");
+  const std::string head =
+      head_end == std::string::npos ? raw : raw.substr(0, head_end);
+  const size_t at = head.find("\r\n" + name + ": ");
+  if (at == std::string::npos) return "";
+  const size_t begin = at + 2 + name.size() + 2;
+  const size_t end = head.find("\r\n", begin);
+  return head.substr(begin, end - begin);
+}
+
 // Extracts the "prediction" array text verbatim — string compare against the
 // server's rendering of the direct result proves bitwise identity, because
 // %.9g is injective on float32.
@@ -448,6 +672,120 @@ TEST(ServeLoopbackTest, EndToEndMatchesDirectPredictBitwise) {
 
   server.Drain();
   engine.Shutdown();
+}
+
+TEST(ServeLoopbackTest, TraceparentRoundTripAndAccessLogExactlyOnce) {
+  const std::string log_path = "/tmp/sthsl_serve_access_e2e.jsonl";
+  std::remove(log_path.c_str());
+  AccessLog::Global().Configure(log_path, 1 << 20, 0);
+
+  TempDir dir;
+  LoadedBundle bundle = TrainAndRoundTripBundle(dir.path);
+  EngineConfig config;
+  config.batcher.worker_threads = 1;
+  config.batcher.max_wait_us = 500;
+  InferenceEngine engine(std::move(bundle), config);
+  PredictService service(&engine);
+  HttpServer server;
+  service.Register(&server);
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+
+  const std::vector<int64_t> shape = engine.manifest().WindowShape();
+  int64_t numel = 1;
+  for (int64_t extent : shape) numel *= extent;
+  std::string body = "{\"window\": [";
+  for (int64_t i = 0; i < numel; ++i) {
+    body += (i == 0 ? "" : ",") + std::to_string(i % 3);
+  }
+  body += "]}";
+
+  // 1. Client-sent traceparent comes back with the same trace id (and the
+  //    trace id appears in the JSON body).
+  const std::string client_trace = "4bf92f3577b34da6a3ce929d0e0e4736";
+  const std::string sent = "00-" + client_trace + "-00f067aa0ba902b7-01";
+  std::string raw = HttpRoundTripRaw(
+      server.port(),
+      "POST /v1/predict HTTP/1.1\r\nHost: t\r\ntraceparent: " + sent +
+          "\r\nContent-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n" + body);
+  EXPECT_NE(raw.find("HTTP/1.1 200"), std::string::npos) << raw;
+  std::string echoed = ResponseHeader(raw, "traceparent");
+  ASSERT_EQ(echoed.size(), 55u) << raw;
+  EXPECT_EQ(echoed.substr(3, 32), client_trace);
+  EXPECT_NE(echoed.substr(36, 16), "00f067aa0ba902b7");  // fresh span id
+  EXPECT_NE(raw.find("\"trace_id\": \"" + client_trace + "\""),
+            std::string::npos);
+
+  // 2. A malformed traceparent is rejected: the response carries a freshly
+  //    generated trace id instead of echoing the bad one.
+  raw = HttpRoundTripRaw(
+      server.port(),
+      "POST /v1/predict HTTP/1.1\r\nHost: t\r\ntraceparent: bogus\r\n"
+      "Content-Length: " +
+          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+          body);
+  EXPECT_NE(raw.find("HTTP/1.1 200"), std::string::npos) << raw;
+  echoed = ResponseHeader(raw, "traceparent");
+  ASSERT_EQ(echoed.size(), 55u);
+  EXPECT_NE(echoed.substr(3, 32), client_trace);
+  EXPECT_NE(echoed.substr(3, 32), std::string(32, '0'));
+
+  // 3. Non-predict and error responses also echo a traceparent.
+  raw = HttpRoundTripRaw(server.port(),
+                         "GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                         "Connection: close\r\n\r\n");
+  EXPECT_EQ(ResponseHeader(raw, "traceparent").size(), 55u);
+  raw = HttpRoundTripRaw(server.port(),
+                         "GET /nope HTTP/1.1\r\nHost: t\r\n"
+                         "Connection: close\r\n\r\n");
+  EXPECT_NE(raw.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_EQ(ResponseHeader(raw, "traceparent").size(), 55u);
+
+  server.Drain();
+  engine.Shutdown();
+  AccessLog::Global().Flush();
+
+  // Exactly one record per request, in order; predict records carry the
+  // stage map, cache/batch detail, and stage sums bounded by total_us.
+  const std::vector<std::string> lines = ReadLines(log_path);
+  ASSERT_EQ(lines.size(), 4u);
+  sthsl::json::JsonValue record;
+  std::string error;
+  ASSERT_TRUE(sthsl::json::JsonParser(lines[0]).Parse(&record, &error))
+      << error;
+  EXPECT_EQ(
+      record.FindOfKind("trace_id", sthsl::json::JsonValue::Kind::kString)
+          ->text,
+      client_trace);
+  EXPECT_EQ(record.FindOfKind("path", sthsl::json::JsonValue::Kind::kString)
+                ->text,
+            "/v1/predict");
+  const sthsl::json::JsonValue* stages =
+      record.FindOfKind("stages", sthsl::json::JsonValue::Kind::kObject);
+  ASSERT_NE(stages, nullptr);
+  double stage_sum = 0.0;
+  for (const auto& [stage_name, value] : stages->members) {
+    ASSERT_TRUE(value.Is(sthsl::json::JsonValue::Kind::kNumber)) << stage_name;
+    EXPECT_GE(value.number, 0.0) << stage_name;
+    stage_sum += value.number;
+  }
+  const double total_us =
+      record.FindOfKind("total_us", sthsl::json::JsonValue::Kind::kNumber)
+          ->number;
+  EXPECT_LE(stage_sum, total_us);
+  ASSERT_NE(record.Find("batch_size"), nullptr);
+  ASSERT_NE(record.Find("cache_hit"), nullptr);
+  // The 404 record has no predict detail but all required fields.
+  sthsl::json::JsonValue not_found;
+  ASSERT_TRUE(sthsl::json::JsonParser(lines[3]).Parse(&not_found, &error));
+  EXPECT_EQ(not_found.FindOfKind("status",
+                                 sthsl::json::JsonValue::Kind::kNumber)
+                ->number,
+            404.0);
+  EXPECT_EQ(not_found.Find("batch_size"), nullptr);
+
+  AccessLog::Global().Configure("", 0, 0);
+  std::remove(log_path.c_str());
 }
 
 TEST(ServeLoopbackTest, ConcurrentRequestsAllAnswered) {

@@ -10,9 +10,17 @@
 // pool of distinct deterministic windows so the run exercises both the
 // cache-miss (first pass) and cache-hit (subsequent passes) paths.
 //
+// Every request carries a unique W3C traceparent header; the server must
+// echo the same trace id back (with a fresh span id) or the request counts
+// as an error. After the run the tool scrapes GET /metrics (JSON) and
+// prints the server-reported per-stage latency histograms next to the
+// client-measured round-trip latency, so queue/batch/inference time can be
+// separated from network and parse overhead without extra tooling.
+//
 // On completion it prints QPS and latency percentiles, writes them as JSON
-// to --out, and exits non-zero if any request failed or QPS fell below
-// --min-qps — which is what the CI smoke job gates on.
+// to --out (client numbers plus the scraped server stats under "server"),
+// and exits non-zero if any request failed or QPS fell below --min-qps —
+// which is what the CI smoke job gates on.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -32,9 +40,11 @@
 #include <numeric>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/bundle.h"
+#include "util/json_mini.h"
 
 namespace {
 
@@ -88,16 +98,23 @@ class Connection {
 
   bool connected() const { return fd_ >= 0; }
 
-  // Sends one request and reads one response; fills `status` and `body`.
-  bool RoundTrip(const std::string& request, int* status, std::string* body) {
+  // Writes one buffer fully; workers send the per-request header block and
+  // the pre-rendered body as two buffers to avoid copying the body just to
+  // splice in a fresh traceparent header.
+  bool SendAll(const std::string& data) {
     if (fd_ < 0) return false;
     size_t sent = 0;
-    while (sent < request.size()) {
-      const ssize_t n =
-          ::send(fd_, request.data() + sent, request.size() - sent, 0);
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
       if (n <= 0) return false;
       sent += static_cast<size_t>(n);
     }
+    return true;
+  }
+
+  // Reads one response; fills `status` and `body`, and when `head` is
+  // non-null the raw header block (for traceparent echo checks).
+  bool ReadResponse(int* status, std::string* body, std::string* head_out) {
     // Read until the header block is complete, then until Content-Length
     // bytes of body have arrived. Leftover bytes stay in buffer_ for the
     // next response on this keep-alive connection.
@@ -106,6 +123,7 @@ class Connection {
       if (!Fill()) return false;
     }
     const std::string head = buffer_.substr(0, header_end);
+    if (head_out != nullptr) *head_out = head;
     if (std::sscanf(head.c_str(), "HTTP/1.1 %d", status) != 1) return false;
     size_t content_length = 0;
     std::string lower(head);
@@ -122,6 +140,11 @@ class Connection {
     *body = buffer_.substr(body_start, content_length);
     buffer_.erase(0, body_start + content_length);
     return true;
+  }
+
+  // Sends one request and reads one response; fills `status` and `body`.
+  bool RoundTrip(const std::string& request, int* status, std::string* body) {
+    return SendAll(request) && ReadResponse(status, body, nullptr);
   }
 
  private:
@@ -162,6 +185,55 @@ std::string RenderRequest(const std::string& host, const std::string& target,
   }
   request += "Connection: keep-alive\r\n\r\n" + body;
   return request;
+}
+
+// Header block for a predict POST, left open so the worker can append its
+// per-request traceparent line plus the terminating blank line, then send
+// the (shared, pre-rendered) body as a second buffer.
+std::string RenderPredictHead(const std::string& host, size_t body_size) {
+  return "POST /v1/predict HTTP/1.1\r\nHost: " + host +
+         "\r\nContent-Type: application/json\r\nContent-Length: " +
+         std::to_string(body_size) + "\r\nConnection: keep-alive\r\n";
+}
+
+// Per-worker deterministic trace-id source (splitmix64). Distinct workers
+// seed from their index so ids never collide within a run.
+struct TraceIdSource {
+  uint64_t state;
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return z != 0 ? z : 1;
+  }
+  std::string HexId(int hex_digits) {
+    static const char* kDigits = "0123456789abcdef";
+    std::string id(static_cast<size_t>(hex_digits), '0');
+    for (int filled = 0; filled < hex_digits; filled += 16) {
+      uint64_t value = Next();
+      for (int i = 0; i < 16 && filled + i < hex_digits; ++i) {
+        id[static_cast<size_t>(filled + i)] =
+            kDigits[(value >> (60 - 4 * i)) & 0xF];
+      }
+    }
+    return id;
+  }
+};
+
+// Case-insensitive single-header lookup in a raw response header block.
+std::string HeaderValue(const std::string& head, const std::string& name) {
+  std::string lower(head);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  const std::string needle = "\r\n" + name + ":";
+  const size_t at = lower.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  while (begin < head.size() && head[begin] == ' ') ++begin;
+  size_t end = head.find("\r\n", begin);
+  if (end == std::string::npos) end = head.size();
+  return head.substr(begin, end - begin);
 }
 
 double Percentile(std::vector<double>& sorted_us, double p) {
@@ -225,16 +297,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Pre-render one request per distinct window; workers just cycle them.
-  std::vector<std::string> requests;
-  requests.reserve(opts.distinct_windows);
+  // Pre-render one body (and its open-ended header block) per distinct
+  // window; workers cycle the bodies and append a fresh traceparent line
+  // per request.
+  std::vector<std::string> bodies;
+  std::vector<std::string> heads;
+  bodies.reserve(opts.distinct_windows);
+  heads.reserve(opts.distinct_windows);
   for (int k = 0; k < opts.distinct_windows; ++k) {
-    requests.push_back(
-        RenderRequest(opts.host, "/v1/predict", RenderPredictBody(shape, k)));
+    bodies.push_back(RenderPredictBody(shape, k));
+    heads.push_back(RenderPredictHead(opts.host, bodies.back().size()));
   }
 
   std::atomic<uint64_t> total_requests{0};
   std::atomic<uint64_t> total_errors{0};
+  std::atomic<uint64_t> trace_mismatches{0};
   std::atomic<uint64_t> cache_hits{0};
   std::vector<std::vector<double>> per_thread_latencies(opts.connections);
   const auto deadline = std::chrono::steady_clock::now() +
@@ -250,25 +327,39 @@ int main(int argc, char** argv) {
         return;
       }
       std::vector<double>& latencies = per_thread_latencies[w];
+      TraceIdSource ids{0x5354u + static_cast<uint64_t>(w) * 0x100000001b3ULL};
       // Offset each worker's cycle so they don't all hammer window 0 at once.
-      size_t next = static_cast<size_t>(w) % requests.size();
+      size_t next = static_cast<size_t>(w) % bodies.size();
       while (std::chrono::steady_clock::now() < deadline) {
+        const std::string trace_id = ids.HexId(32);
+        const std::string header_block = heads[next] + "traceparent: 00-" +
+                                         trace_id + "-" + ids.HexId(16) +
+                                         "-01\r\n\r\n";
         const auto start = std::chrono::steady_clock::now();
         int status = 0;
         std::string body;
-        if (!conn.RoundTrip(requests[next], &status, &body) || status != 200) {
+        std::string response_head;
+        if (!conn.SendAll(header_block) || !conn.SendAll(bodies[next]) ||
+            !conn.ReadResponse(&status, &body, &response_head) ||
+            status != 200) {
           total_errors.fetch_add(1);
           if (!conn.connected() || !conn.Open(opts.host, opts.port)) return;
           continue;
         }
         const auto end = std::chrono::steady_clock::now();
+        // The server must echo our trace id (with its own span id); a
+        // mismatch means request-scoped tracing is broken and the run fails.
+        const std::string echoed = HeaderValue(response_head, "traceparent");
+        if (echoed.size() != 55 || echoed.substr(3, 32) != trace_id) {
+          trace_mismatches.fetch_add(1);
+        }
         latencies.push_back(
             std::chrono::duration<double, std::micro>(end - start).count());
         total_requests.fetch_add(1);
         if (body.find("\"cache_hit\": true") != std::string::npos) {
           cache_hits.fetch_add(1);
         }
-        next = (next + 1) % requests.size();
+        next = (next + 1) % bodies.size();
       }
     });
   }
@@ -295,13 +386,70 @@ int main(int argc, char** argv) {
           : std::accumulate(latencies.begin(), latencies.end(), 0.0) /
                 static_cast<double>(latencies.size());
 
+  const uint64_t mismatches = trace_mismatches.load();
   std::printf(
-      "sthsl_loadgen: %llu ok, %llu errors in %.2fs over %d connections\n"
-      "  qps %.1f | latency µs mean %.0f p50 %.0f p95 %.0f p99 %.0f | "
+      "sthsl_loadgen: %llu ok, %llu errors, %llu trace mismatches in %.2fs "
+      "over %d connections\n"
+      "  qps %.1f | client latency µs mean %.0f p50 %.0f p95 %.0f p99 %.0f | "
       "cache hits %llu\n",
       static_cast<unsigned long long>(ok),
-      static_cast<unsigned long long>(errors), elapsed, opts.connections, qps,
-      mean, p50, p95, p99, static_cast<unsigned long long>(cache_hits.load()));
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(mismatches), elapsed, opts.connections,
+      qps, mean, p50, p95, p99,
+      static_cast<unsigned long long>(cache_hits.load()));
+
+  // Scrape the server's own view: GET /metrics (JSON) and pull out the
+  // serve/latency_us and serve/stage/* histograms. The gap between the
+  // client round-trip and the server total is network + HTTP overhead;
+  // the stage rows split the server total further.
+  std::vector<std::pair<std::string, sthsl::json::JsonValue>> server_stats;
+  {
+    Connection scrape;
+    int status = 0;
+    std::string metrics_body;
+    if (scrape.Open(opts.host, opts.port) &&
+        scrape.RoundTrip(RenderRequest(opts.host, "/metrics", ""), &status,
+                         &metrics_body) &&
+        status == 200) {
+      sthsl::json::JsonValue metrics;
+      std::string error;
+      sthsl::json::JsonParser parser(metrics_body);
+      if (parser.Parse(&metrics, &error)) {
+        const sthsl::json::JsonValue* histograms = metrics.FindOfKind(
+            "histograms", sthsl::json::JsonValue::Kind::kObject);
+        if (histograms != nullptr) {
+          for (const auto& [name, snapshot] : histograms->members) {
+            if (name == "serve/latency_us" ||
+                name.rfind("serve/stage/", 0) == 0) {
+              server_stats.emplace_back(name, snapshot);
+            }
+          }
+        }
+      } else {
+        std::fprintf(stderr, "warning: /metrics JSON did not parse: %s\n",
+                     error.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "warning: could not scrape /metrics after run\n");
+    }
+  }
+  if (!server_stats.empty()) {
+    std::printf("  server-reported latency (µs, from /metrics):\n");
+    std::printf("    %-28s %8s %8s %8s %8s %8s\n", "histogram", "count",
+                "mean", "p50", "p95", "p99");
+    std::printf("    %-28s %8llu %8.0f %8.0f %8.0f %8.0f  (client-measured)\n",
+                "round_trip", static_cast<unsigned long long>(ok), mean, p50,
+                p95, p99);
+    for (const auto& [name, snapshot] : server_stats) {
+      const auto field = [&snapshot](const char* key) {
+        const sthsl::json::JsonValue* value = snapshot.Find(key);
+        return value != nullptr ? value->number : 0.0;
+      };
+      std::printf("    %-28s %8.0f %8.0f %8.0f %8.0f %8.0f\n", name.c_str(),
+                  field("count"), field("mean"), field("p50"), field("p95"),
+                  field("p99"));
+    }
+  }
 
   std::ofstream out(opts.out);
   out << "{\n"
@@ -310,10 +458,24 @@ int main(int argc, char** argv) {
       << "  \"seconds\": " << elapsed << ",\n"
       << "  \"requests\": " << ok << ",\n"
       << "  \"errors\": " << errors << ",\n"
+      << "  \"trace_mismatches\": " << mismatches << ",\n"
       << "  \"cache_hits\": " << cache_hits.load() << ",\n"
       << "  \"qps\": " << qps << ",\n"
       << "  \"latency_us\": {\"mean\": " << mean << ", \"p50\": " << p50
-      << ", \"p95\": " << p95 << ", \"p99\": " << p99 << "}\n"
+      << ", \"p95\": " << p95 << ", \"p99\": " << p99 << "},\n"
+      << "  \"server\": {";
+  for (size_t i = 0; i < server_stats.size(); ++i) {
+    const auto& [name, snapshot] = server_stats[i];
+    const auto field = [&snapshot](const char* key) {
+      const sthsl::json::JsonValue* value = snapshot.Find(key);
+      return value != nullptr ? value->number : 0.0;
+    };
+    out << (i == 0 ? "" : ", ") << sthsl::json::JsonQuote(name) << ": {\"count\": "
+        << field("count") << ", \"mean\": " << field("mean")
+        << ", \"p50\": " << field("p50") << ", \"p95\": " << field("p95")
+        << ", \"p99\": " << field("p99") << "}";
+  }
+  out << "}\n"
       << "}\n";
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", opts.out.c_str());
@@ -323,6 +485,11 @@ int main(int argc, char** argv) {
   if (errors > 0) {
     std::fprintf(stderr, "FAIL: %llu request error(s)\n",
                  static_cast<unsigned long long>(errors));
+    return 1;
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %llu traceparent echo mismatch(es)\n",
+                 static_cast<unsigned long long>(mismatches));
     return 1;
   }
   if (opts.min_qps > 0 && qps < opts.min_qps) {

@@ -5,6 +5,7 @@
 //   sthsl_report run1.jsonl run2.jsonl              # markdown table
 //   sthsl_report --csv runs/*.jsonl                 # CSV for spreadsheets
 //   sthsl_report --bench BENCH_table5_efficiency.json runs/*.jsonl
+//   sthsl_report --bench BENCH_serve.json             # serve latency table
 //   sthsl_report --emit-baseline base.json runs/*.jsonl
 //   sthsl_report --gate base.json --tolerance 10 --time-tolerance 100 \
 //                runs/*.jsonl                       # exit 1 on regression
@@ -66,6 +67,27 @@ struct BenchModel {
   std::string name;
   double nyc_epoch_seconds = kNan;
   double chi_epoch_seconds = kNan;
+};
+
+/// A BENCH_serve.json dump from sthsl_loadgen: run-level totals plus one
+/// latency row per histogram (client round-trip first, then the server-
+/// reported serve/latency_us and serve/stage/* histograms it scraped).
+struct ServeBench {
+  struct Row {
+    std::string name;
+    double count = kNan;
+    double mean = kNan;
+    double p50 = kNan;
+    double p95 = kNan;
+    double p99 = kNan;
+  };
+  std::string source;
+  double qps = kNan;
+  double requests = kNan;
+  double errors = kNan;
+  double trace_mismatches = kNan;
+  double cache_hits = kNan;
+  std::vector<Row> rows;
 };
 
 double NumberOr(const JsonValue& record, const char* field, double fallback) {
@@ -162,12 +184,56 @@ bool LoadFile(const std::string& path, std::string* out) {
 
 // -- Bench JSON (table5 format) -----------------------------------------------
 
+ServeBench::Row ServeRow(const std::string& name, const JsonValue& snapshot,
+                         double fallback_count) {
+  ServeBench::Row row;
+  row.name = name;
+  row.count = NumberOr(snapshot, "count", fallback_count);
+  row.mean = NumberOr(snapshot, "mean", kNan);
+  row.p50 = NumberOr(snapshot, "p50", kNan);
+  row.p95 = NumberOr(snapshot, "p95", kNan);
+  row.p99 = NumberOr(snapshot, "p99", kNan);
+  return row;
+}
+
+bool ParseServeBench(const JsonValue& root, const std::string& source,
+                     std::vector<ServeBench>* out) {
+  ServeBench bench;
+  bench.source = source;
+  bench.qps = NumberOr(root, "qps", kNan);
+  bench.requests = NumberOr(root, "requests", kNan);
+  bench.errors = NumberOr(root, "errors", kNan);
+  bench.trace_mismatches = NumberOr(root, "trace_mismatches", kNan);
+  bench.cache_hits = NumberOr(root, "cache_hits", kNan);
+  const JsonValue* client = root.FindOfKind("latency_us", kObj);
+  if (client == nullptr) {
+    return Complain(source + ": missing \"latency_us\" object");
+  }
+  bench.rows.push_back(ServeRow("client round_trip", *client, bench.requests));
+  const JsonValue* server = root.FindOfKind("server", kObj);
+  if (server != nullptr) {
+    for (const auto& [name, snapshot] : server->members) {
+      if (!snapshot.Is(kObj)) continue;
+      bench.rows.push_back(ServeRow(name, snapshot, kNan));
+    }
+  }
+  out->push_back(bench);
+  return true;
+}
+
 bool ParseBenchText(const std::string& text, const std::string& source,
-                    std::vector<BenchModel>* out) {
+                    std::vector<BenchModel>* out,
+                    std::vector<ServeBench>* serve_out) {
   JsonValue root;
   std::string error;
   if (!JsonParser(text).Parse(&root, &error)) {
     return Complain(source + ": " + error);
+  }
+  // sthsl_loadgen dumps identify themselves; anything else must be the
+  // table5 efficiency format with a "models" array.
+  if (root.Is(kObj) &&
+      StringOr(root, "benchmark", "") == "sthsl_serve") {
+    return ParseServeBench(root, source, serve_out);
   }
   const JsonValue* models =
       root.Is(kObj) ? root.FindOfKind("models", kArr) : nullptr;
@@ -195,6 +261,7 @@ std::string Cell(double value) {
 }
 
 void PrintMarkdown(const std::vector<RunSummary>& runs) {
+  if (runs.empty()) return;  // bench-only invocation
   std::printf("| model | city | epochs | final loss | best val MAE | "
               "epoch s | test MAE | test MAPE | test RMSE |\n");
   std::printf("|---|---|---|---|---|---|---|---|---|\n");
@@ -229,6 +296,25 @@ void PrintBench(const std::vector<BenchModel>& bench) {
     std::printf("| %s | %s | %s |\n", row.name.c_str(),
                 Cell(row.nyc_epoch_seconds).c_str(),
                 Cell(row.chi_epoch_seconds).c_str());
+  }
+}
+
+void PrintServeBench(const std::vector<ServeBench>& benches) {
+  for (const ServeBench& bench : benches) {
+    std::printf("\nserve bench %s: qps %s | requests %s | errors %s | "
+                "trace mismatches %s | cache hits %s\n",
+                bench.source.c_str(), Cell(bench.qps).c_str(),
+                Cell(bench.requests).c_str(), Cell(bench.errors).c_str(),
+                Cell(bench.trace_mismatches).c_str(),
+                Cell(bench.cache_hits).c_str());
+    std::printf("| histogram | count | mean µs | p50 | p95 | p99 |\n"
+                "|---|---|---|---|---|---|\n");
+    for (const ServeBench::Row& row : bench.rows) {
+      std::printf("| %s | %s | %s | %s | %s | %s |\n", row.name.c_str(),
+                  Cell(row.count).c_str(), Cell(row.mean).c_str(),
+                  Cell(row.p50).c_str(), Cell(row.p95).c_str(),
+                  Cell(row.p99).c_str());
+    }
   }
 }
 
@@ -404,17 +490,54 @@ int SelfTest() {
 
   // Bench JSON parsing (table5 format).
   std::vector<BenchModel> bench;
+  std::vector<ServeBench> serve_bench;
   expect(ParseBenchText("{\"bench\":\"table5_efficiency\",\"models\":["
                         "{\"name\":\"STGCN\",\"nyc_epoch_seconds\":0.5,"
                         "\"chi_epoch_seconds\":0.4,\"ops\":[]}]}",
-                        "<selftest>", &bench),
+                        "<selftest>", &bench, &serve_bench),
          "bench json parses");
   expect(bench.size() == 1 && bench[0].name == "STGCN" &&
              std::fabs(bench[0].nyc_epoch_seconds - 0.5) < 1e-12,
          "bench model extracted");
   std::vector<BenchModel> bad_bench;
-  expect(!ParseBenchText("{\"bench\":\"x\"}", "<selftest>", &bad_bench),
+  expect(!ParseBenchText("{\"bench\":\"x\"}", "<selftest>", &bad_bench,
+                         &serve_bench),
          "bench json without models rejected");
+
+  // Serve bench parsing (sthsl_loadgen format): client latency plus the
+  // server-side histograms scraped from /metrics, p99 included.
+  expect(ParseBenchText(
+             "{\"benchmark\":\"sthsl_serve\",\"connections\":2,"
+             "\"seconds\":1.5,\"requests\":300,\"errors\":0,"
+             "\"trace_mismatches\":0,\"cache_hits\":250,\"qps\":200,"
+             "\"latency_us\":{\"mean\":90,\"p50\":80,\"p95\":200,"
+             "\"p99\":400},\"server\":{\"serve/latency_us\":{\"count\":300,"
+             "\"mean\":60,\"p50\":50,\"p95\":150,\"p99\":350},"
+             "\"serve/stage/inference_us\":{\"count\":50,\"mean\":40,"
+             "\"p50\":35,\"p95\":90,\"p99\":120}}}",
+             "<selftest>", &bench, &serve_bench),
+         "serve bench json parses");
+  expect(serve_bench.size() == 1, "one serve bench extracted");
+  if (serve_bench.size() == 1) {
+    const ServeBench& serve = serve_bench[0];
+    expect(std::fabs(serve.qps - 200.0) < 1e-12 &&
+               std::fabs(serve.trace_mismatches) < 1e-12,
+           "serve bench totals extracted");
+    expect(serve.rows.size() == 3, "client + 2 server histogram rows");
+    expect(serve.rows.size() == 3 &&
+               serve.rows[0].name == "client round_trip" &&
+               std::fabs(serve.rows[0].p99 - 400.0) < 1e-12 &&
+               std::fabs(serve.rows[0].count - 300.0) < 1e-12,
+           "client row carries p99 and falls back to request count");
+    expect(serve.rows.size() == 3 &&
+               serve.rows[2].name == "serve/stage/inference_us" &&
+               std::fabs(serve.rows[2].p99 - 120.0) < 1e-12,
+           "server stage row carries p99");
+  }
+  std::vector<ServeBench> bad_serve;
+  expect(!ParseBenchText("{\"benchmark\":\"sthsl_serve\",\"qps\":1}",
+                         "<selftest>", &bench, &bad_serve),
+         "serve bench without latency_us rejected");
 
   if (failures == 0) {
     std::printf("selftest OK\n");
@@ -427,8 +550,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sthsl_report [options] <ledger.jsonl>...\n"
                "  --csv                  emit CSV instead of markdown\n"
-               "  --bench FILE           include a BENCH_*.json epoch-time "
-               "table (repeatable)\n"
+               "  --bench FILE           include a BENCH_*.json table "
+               "(table5 epoch times or\n"
+               "                         sthsl_loadgen serve latency; "
+               "repeatable)\n"
                "  --emit-baseline FILE   write a gate baseline from the "
                "aggregated runs\n"
                "  --gate FILE            compare runs against a baseline; "
@@ -496,10 +621,11 @@ int main(int argc, char** argv) {
     if (!ParseLedgerText(text, path, &runs)) return 1;
   }
   std::vector<BenchModel> bench;
+  std::vector<ServeBench> serve_bench;
   for (const std::string& path : bench_paths) {
     std::string text;
     if (!LoadFile(path, &text)) return 1;
-    if (!ParseBenchText(text, path, &bench)) return 1;
+    if (!ParseBenchText(text, path, &bench, &serve_bench)) return 1;
   }
 
   if (csv) {
@@ -507,6 +633,7 @@ int main(int argc, char** argv) {
   } else {
     PrintMarkdown(runs);
     PrintBench(bench);
+    PrintServeBench(serve_bench);
   }
 
   if (!emit_baseline.empty()) {

@@ -1,10 +1,11 @@
 // sthsl_trace_check — standalone validator for the observability layer's
 // JSON artifacts, used by CI after a traced training run:
 //
-//   sthsl_trace_check trace   trace.json     # chrome://tracing event file
-//   sthsl_trace_check metrics metrics.json   # metrics/op-profile dump
-//   sthsl_trace_check run-log run.jsonl      # experiment run ledger (JSONL)
-//   sthsl_trace_check --selftest             # embedded good/bad samples
+//   sthsl_trace_check trace   trace.json        # chrome://tracing events
+//   sthsl_trace_check metrics metrics.json      # metrics/op-profile dump
+//   sthsl_trace_check run-log run.jsonl         # experiment run ledger
+//   sthsl_trace_check access-log access.jsonl   # serving access log
+//   sthsl_trace_check --selftest                # embedded good/bad samples
 //
 // Exits 0 when the file parses as JSON and has the expected structure,
 // 1 otherwise. Deliberately dependency-free (no sthsl lib, no third-party
@@ -78,7 +79,7 @@ bool ValidateTrace(const JsonValue& root) {
 
 /// Metrics dump: root object with counters/gauges/histograms objects plus an
 /// ops array of per-op profiles. Histogram snapshots must carry the full
-/// count/min/max/mean/p50/p95 summary (all numeric).
+/// count/min/max/mean/p50/p95/p99 summary (all numeric).
 bool ValidateMetrics(const JsonValue& root) {
   if (!root.Is(kObj)) {
     return Complain("metrics root is not an object");
@@ -93,25 +94,32 @@ bool ValidateMetrics(const JsonValue& root) {
     if (!snapshot.Is(kObj)) {
       return Complain("histogram '" + name + "' is not an object");
     }
-    for (const char* field : {"count", "min", "max", "mean", "p50", "p95"}) {
+    for (const char* field :
+         {"count", "min", "max", "mean", "p50", "p95", "p99"}) {
       if (snapshot.FindOfKind(field, kNum) == nullptr) {
         return Complain("histogram '" + name + "' lacks numeric \"" + field +
                         "\"");
       }
     }
   }
+  // "ops" is optional: the training exporter always writes it, but the
+  // serving tier's /metrics JSON has no autograd profile to report. When
+  // present it must still be well-formed.
   const JsonValue* ops = root.Find("ops");
-  if (ops == nullptr || !ops->Is(kArr)) {
-    return Complain("missing \"ops\" array");
-  }
-  for (const JsonValue& op : ops->items) {
-    if (!op.Is(kObj) || op.Find("name") == nullptr ||
-        op.Find("forward_calls") == nullptr) {
-      return Complain("ops entry lacks name/forward_calls");
+  if (ops != nullptr) {
+    if (!ops->Is(kArr)) {
+      return Complain("\"ops\" is not an array");
+    }
+    for (const JsonValue& op : ops->items) {
+      if (!op.Is(kObj) || op.Find("name") == nullptr ||
+          op.Find("forward_calls") == nullptr) {
+        return Complain("ops entry lacks name/forward_calls");
+      }
     }
   }
   std::printf("metrics OK: %zu ops, %zu counters, %zu histograms\n",
-              ops->items.size(), root.Find("counters")->members.size(),
+              ops == nullptr ? 0 : ops->items.size(),
+              root.Find("counters")->members.size(),
               root.Find("histograms")->members.size());
   return true;
 }
@@ -256,6 +264,101 @@ bool ValidateRunLog(const std::string& text) {
   return true;
 }
 
+// -- Access-log (JSONL) validation --------------------------------------------
+
+bool IsLowerHexId(const std::string& text, size_t length) {
+  if (text.size() != length) return false;
+  bool nonzero = false;
+  for (char c : text) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+    if (c != '0') nonzero = true;
+  }
+  return nonzero;
+}
+
+/// Serving access log: one JSON object per line with ts/method/path strings,
+/// valid non-zero trace_id (32 hex) and span_id (16 hex), numeric
+/// status/bytes/total_us, and a stages object of non-negative stage
+/// durations whose sum does not exceed total_us. cache_hit/batch_size are
+/// optional (predict requests only) but type-checked when present.
+bool ValidateAccessLog(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  size_t records = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(line_no);
+    JsonValue record;
+    std::string error;
+    if (!JsonParser(line).Parse(&record, &error)) {
+      return Complain(where + ": " + error);
+    }
+    if (!record.Is(kObj)) {
+      return Complain(where + ": record is not an object");
+    }
+    for (const char* field : {"ts", "trace_id", "span_id", "method", "path"}) {
+      if (record.FindOfKind(field, kStr) == nullptr) {
+        return Complain(where + ": record lacks string \"" +
+                        std::string(field) + "\"");
+      }
+    }
+    if (!IsLowerHexId(record.Find("trace_id")->text, 32)) {
+      return Complain(where + ": trace_id is not 32 lowercase hex chars "
+                      "(non-zero)");
+    }
+    if (!IsLowerHexId(record.Find("span_id")->text, 16)) {
+      return Complain(where + ": span_id is not 16 lowercase hex chars "
+                      "(non-zero)");
+    }
+    for (const char* field : {"status", "bytes", "total_us"}) {
+      if (record.FindOfKind(field, kNum) == nullptr) {
+        return Complain(where + ": record lacks numeric \"" +
+                        std::string(field) + "\"");
+      }
+    }
+    const double total_us = record.Find("total_us")->number;
+    if (total_us < 0.0) {
+      return Complain(where + ": negative total_us");
+    }
+    const JsonValue* stages = record.FindOfKind("stages", kObj);
+    if (stages == nullptr) {
+      return Complain(where + ": record lacks \"stages\" object");
+    }
+    double stage_sum = 0.0;
+    for (const auto& [stage, value] : stages->members) {
+      if (!value.Is(kNum) || value.number < 0.0) {
+        return Complain(where + ": stage '" + stage +
+                        "' is not a non-negative number");
+      }
+      stage_sum += value.number;
+    }
+    // Stage durations are disjoint sub-intervals of the request, so their
+    // sum is bounded by the total (0.05us slack absorbs %.3f rounding).
+    if (stage_sum > total_us + 0.05) {
+      return Complain(where + ": stage sum " + std::to_string(stage_sum) +
+                      "us exceeds total_us " + std::to_string(total_us));
+    }
+    const JsonValue* cache_hit = record.Find("cache_hit");
+    if (cache_hit != nullptr && !cache_hit->Is(JsonValue::Kind::kBool)) {
+      return Complain(where + ": cache_hit is not a boolean");
+    }
+    const JsonValue* batch_size = record.Find("batch_size");
+    if (batch_size != nullptr &&
+        (!batch_size->Is(kNum) || batch_size->number < 0.0)) {
+      return Complain(where + ": batch_size is not a non-negative number");
+    }
+    ++records;
+  }
+  if (records == 0) {
+    return Complain("access log contains no records");
+  }
+  std::printf("access-log OK: %zu record(s)\n", records);
+  return true;
+}
+
 int CheckFile(const std::string& mode, const std::string& path) {
   std::ifstream file(path);
   if (!file) {
@@ -267,6 +370,7 @@ int CheckFile(const std::string& mode, const std::string& path) {
   const std::string text = buffer.str();
 
   if (mode == "run-log") return ValidateRunLog(text) ? 0 : 1;
+  if (mode == "access-log") return ValidateAccessLog(text) ? 0 : 1;
 
   JsonValue root;
   std::string error;
@@ -296,6 +400,15 @@ constexpr const char kGoodLedgerEpoch[] =
     "\"params\":[{\"name\":\"head.weight\",\"numel\":36,\"grad_norm\":1.5,"
     "\"weight_norm\":2.0,\"update_ratio\":0.01,\"nan_grad_frac\":0,"
     "\"zero_grad_frac\":0.25}]}";
+constexpr const char kGoodAccessRecord[] =
+    "{\"ts\":\"2026-08-08T12:00:00.123Z\","
+    "\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\","
+    "\"span_id\":\"b7ad6b7169203331\",\"method\":\"POST\","
+    "\"path\":\"/v1/predict\",\"status\":200,\"bytes\":412,"
+    "\"total_us\":184.250,\"stages\":{\"header_parse\":3.100,"
+    "\"body_parse\":21.000,\"cache_lookup\":1.500,\"queue_wait\":50.000,"
+    "\"batch_assembly\":2.000,\"inference\":90.000,\"serialize\":10.000},"
+    "\"cache_hit\":false,\"batch_size\":4}";
 constexpr const char kGoodLedgerFinal[] =
     "{\"record\":\"final\",\"run\":1,\"model\":\"STHSL\",\"city\":\"NYC\","
     "\"overall\":{\"name\":\"overall\",\"mae\":0.43,\"mape\":0.3,"
@@ -329,7 +442,7 @@ int SelfTest() {
       {"good metrics", "metrics",
        "{\"counters\":{\"train/epochs\":3},\"gauges\":{},"
        "\"histograms\":{\"loss\":{\"count\":2,\"min\":0.1,\"max\":0.4,"
-       "\"mean\":0.25,\"p50\":0.1,\"p95\":0.4}},"
+       "\"mean\":0.25,\"p50\":0.1,\"p95\":0.4,\"p99\":0.4}},"
        "\"ops\":[{\"name\":\"matmul\",\"forward_calls\":10,"
        "\"forward_us\":12.5,\"backward_calls\":10,\"backward_us\":20.0,"
        "\"bytes_touched\":4096}],"
@@ -340,7 +453,22 @@ int SelfTest() {
       {"histogram without min/max", "metrics",
        "{\"counters\":{},\"gauges\":{},"
        "\"histograms\":{\"loss\":{\"count\":2,\"mean\":0.25,\"p50\":0.1,"
-       "\"p95\":0.4}},\"ops\":[]}",
+       "\"p95\":0.4,\"p99\":0.4}},\"ops\":[]}",
+       false},
+      {"histogram without p99", "metrics",
+       "{\"counters\":{},\"gauges\":{},"
+       "\"histograms\":{\"loss\":{\"count\":2,\"min\":0.1,\"max\":0.4,"
+       "\"mean\":0.25,\"p50\":0.1,\"p95\":0.4}},\"ops\":[]}",
+       false},
+      {"serve metrics without ops", "metrics",
+       "{\"counters\":{\"serve/requests\":9},\"gauges\":{},"
+       "\"histograms\":{\"serve/latency_us\":{\"count\":9,\"min\":10,"
+       "\"max\":900,\"mean\":120,\"p50\":80,\"p95\":500,\"p99\":880}},"
+       "\"cache\":{\"hits\":5}}",
+       true},
+      {"malformed ops entry", "metrics",
+       "{\"counters\":{},\"gauges\":{},\"histograms\":{},"
+       "\"ops\":[{\"forward_us\":1.0}]}",
        false},
       {"good run log", "run-log",
        std::string(kGoodLedgerHeader) + "\n" + kGoodLedgerEpoch + "\n" +
@@ -376,6 +504,50 @@ int SelfTest() {
        std::string(kGoodLedgerHeader) + "\n{\"record\":\"bogus\"}\n", false},
       {"run log broken json line", "run-log",
        std::string(kGoodLedgerHeader) + "\n{\"record\":\"epoch\",\n", false},
+      {"good access log", "access-log",
+       std::string(kGoodAccessRecord) + "\n" +
+           "{\"ts\":\"2026-08-08T12:00:01.000Z\","
+           "\"trace_id\":\"00000000000000000000000000000001\","
+           "\"span_id\":\"000000000000000a\",\"method\":\"GET\","
+           "\"path\":\"/healthz\",\"status\":200,\"bytes\":64,"
+           "\"total_us\":20.5,\"stages\":{\"header_parse\":2.0}}\n",
+       true},
+      {"empty access log", "access-log", "", false},
+      {"access log bad trace id", "access-log",
+       "{\"ts\":\"t\",\"trace_id\":\"XYZ\",\"span_id\":\"b7ad6b7169203331\","
+       "\"method\":\"GET\",\"path\":\"/\",\"status\":200,\"bytes\":1,"
+       "\"total_us\":1.0,\"stages\":{}}\n",
+       false},
+      {"access log all-zero span id", "access-log",
+       "{\"ts\":\"t\",\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\","
+       "\"span_id\":\"0000000000000000\",\"method\":\"GET\",\"path\":\"/\","
+       "\"status\":200,\"bytes\":1,\"total_us\":1.0,\"stages\":{}}\n",
+       false},
+      {"access log missing stages", "access-log",
+       "{\"ts\":\"t\",\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\","
+       "\"span_id\":\"b7ad6b7169203331\",\"method\":\"GET\",\"path\":\"/\","
+       "\"status\":200,\"bytes\":1,\"total_us\":1.0}\n",
+       false},
+      {"access log stage sum exceeds total", "access-log",
+       "{\"ts\":\"t\",\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\","
+       "\"span_id\":\"b7ad6b7169203331\",\"method\":\"POST\","
+       "\"path\":\"/v1/predict\",\"status\":200,\"bytes\":1,"
+       "\"total_us\":10.0,\"stages\":{\"inference\":8.0,\"queue_wait\":7.0}}"
+       "\n",
+       false},
+      {"access log negative stage", "access-log",
+       "{\"ts\":\"t\",\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\","
+       "\"span_id\":\"b7ad6b7169203331\",\"method\":\"POST\","
+       "\"path\":\"/v1/predict\",\"status\":200,\"bytes\":1,"
+       "\"total_us\":10.0,\"stages\":{\"inference\":-1.0}}\n",
+       false},
+      {"access log non-boolean cache_hit", "access-log",
+       std::string("{\"ts\":\"t\","
+                   "\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\","
+                   "\"span_id\":\"b7ad6b7169203331\",\"method\":\"POST\","
+                   "\"path\":\"/v1/predict\",\"status\":200,\"bytes\":1,"
+                   "\"total_us\":10.0,\"stages\":{},\"cache_hit\":1}\n"),
+       false},
       {"unbalanced braces", "parse", "{\"a\":[1,2}", false},
       {"trailing garbage", "parse", "{} {}", false},
       {"escapes and nesting", "parse",
@@ -390,6 +562,8 @@ int SelfTest() {
     std::string error;
     if (std::strcmp(sample.mode, "run-log") == 0) {
       ok = ValidateRunLog(sample.json);
+    } else if (std::strcmp(sample.mode, "access-log") == 0) {
+      ok = ValidateAccessLog(sample.json);
     } else {
       JsonValue root;
       ok = JsonParser(sample.json).Parse(&root, &error);
@@ -420,6 +594,7 @@ int Usage() {
                "usage: sthsl_trace_check trace <file>\n"
                "       sthsl_trace_check metrics <file>\n"
                "       sthsl_trace_check run-log <file>\n"
+               "       sthsl_trace_check access-log <file>\n"
                "       sthsl_trace_check --selftest\n");
   return 2;
 }
