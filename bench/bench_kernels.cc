@@ -19,8 +19,13 @@
 #include "common.h"
 #include "core/sthsl_model.h"
 #include "exec/exec.h"
+#include "tensor/optimizer.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "util/obs/calibrate.h"
+#include "util/obs/obs.h"
+#include "util/obs/perf_counters.h"
+#include "util/obs/roofline.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -218,6 +223,154 @@ void RunThreadScalingSweep() {
   bench::MaybeWriteBenchJson("parallel", json);
 }
 
+// -- Roofline bench -----------------------------------------------------------
+
+// Counter-isolated kernel workloads for the roofline report: each workload
+// runs with the profiler reset, so its op profiles (analytic FLOPs/bytes +
+// measured time) are cleanly attributable, and with a hardware-counter group
+// open, whose reading is attached to the workload's dominant op (the counters
+// cover the whole workload run, including autograd glue — documented in
+// docs/performance.md). The first workload to produce a given op name wins,
+// so micro workloads provide the canonical rows and the full train step only
+// fills in ops nothing else exercised.
+struct RooflineWorkload {
+  std::string label;
+  std::function<void()> run;
+};
+
+void RunRooflineBench() {
+  const obs::MachinePeaks peaks =
+      obs::CalibrateMachinePeaks(/*force_remeasure=*/false,
+                                 /*seconds_budget=*/0.6);
+  if (!peaks.valid()) {
+    std::fprintf(stderr, "[bench] machine-peak calibration failed; "
+                         "skipping roofline report\n");
+    return;
+  }
+  const int threads = exec::ThreadCount();
+
+  Rng rng(9);
+  Tensor ma = Tensor::Randn({256, 256}, rng, 1.0f, true);
+  Tensor mb = Tensor::Randn({256, 256}, rng, 1.0f, true);
+  Tensor c_in = Tensor::Randn({16, 4, 16, 16}, rng, 1.0f, true);
+  Tensor c_w = Tensor::Randn({4, 4, 3, 3}, rng, 1.0f, true);
+  Tensor c_b = Tensor::Randn({4}, rng, 1.0f, true);
+  Tensor logits = Tensor::Randn({256, 256}, rng, 1.0f, true);
+  Tensor ex = Tensor::Randn({int64_t{1} << 20}, rng);
+  Tensor ey = Tensor::Randn({int64_t{1} << 20}, rng);
+  Tensor sgd_p = Tensor::Randn({int64_t{1} << 20}, rng, 1.0f, true);
+  Sgd sgd_opt({sgd_p}, /*lr=*/0.01f, /*momentum=*/0.9f);
+  Tensor adam_p = Tensor::Randn({int64_t{1} << 20}, rng, 1.0f, true);
+  Adam adam_opt({adam_p}, /*lr=*/0.001f);
+
+  SthslConfig net_config;
+  net_config.dim = 16;
+  net_config.num_hyperedges = 32;
+  SthslNet net(net_config, 8, 8, 4, 0.2f, 0.8f, rng);
+  Tensor window = Tensor::Rand({64, 14, 4}, rng, 0.0f, 3.0f);
+  Tensor target = Tensor::Rand({64, 4}, rng, 0.0f, 3.0f);
+
+  const std::vector<RooflineWorkload> workloads = {
+      {"gemm_256",
+       [&] {
+         Sum(MatMul(ma, mb)).Backward();
+         ma.ZeroGrad();
+         mb.ZeroGrad();
+       }},
+      {"conv2d_b16",
+       [&] {
+         Sum(Conv2d(c_in, c_w, c_b, 1, 1)).Backward();
+         c_in.ZeroGrad();
+         c_w.ZeroGrad();
+         c_b.ZeroGrad();
+       }},
+      {"softmax_256",
+       [&] {
+         Sum(Softmax(logits, 1)).Backward();
+         logits.ZeroGrad();
+       }},
+      {"elementwise_1m",
+       [&] {
+         NoGradGuard no_grad;
+         benchmark::DoNotOptimize(Sigmoid(Add(Mul(ex, ey), ex)));
+       }},
+      {"sgd_1m",
+       [&] {
+         sgd_p.MutableGrad().assign(static_cast<size_t>(sgd_p.Numel()),
+                                    1e-4f);
+         sgd_opt.Step();
+       }},
+      {"adam_1m",
+       [&] {
+         adam_p.MutableGrad().assign(static_cast<size_t>(adam_p.Numel()),
+                                     1e-4f);
+         adam_opt.Step();
+       }},
+      {"train_step",
+       [&] {
+         SthslNet::Output out = net.Forward(window, /*training=*/true);
+         Tensor loss = MseLoss(out.prediction, target);
+         loss = Add(loss, MulScalar(out.infomax_loss, 0.2f));
+         loss = Add(loss, MulScalar(out.contrastive_loss, 0.1f));
+         loss.Backward();
+         for (auto& p : net.Parameters()) p.ZeroGrad();
+       }},
+  };
+  constexpr int kIters = 3;
+
+  const bool was_enabled = obs::SetTraceEnabled(true);
+  std::vector<obs::RooflineEntry> entries;
+  std::vector<std::string> have;
+  for (const RooflineWorkload& workload : workloads) {
+    obs::ResetProfiler();
+    obs::HwCounterGroup counters;
+    counters.Start();
+    for (int i = 0; i < kIters; ++i) workload.run();
+    const obs::HwCounterSample sample = counters.Stop();
+    std::vector<obs::RooflineEntry> built =
+        obs::BuildRoofline(obs::OpProfiles(), peaks, threads);
+    size_t dominant = built.size();
+    for (size_t i = 0; i < built.size(); ++i) {
+      if (dominant == built.size() || built[i].flops > built[dominant].flops) {
+        dominant = i;
+      }
+    }
+    if (dominant < built.size() && sample.valid) {
+      built[dominant].counters = sample;
+    }
+    for (auto& entry : built) {
+      if (std::find(have.begin(), have.end(), entry.name) != have.end()) {
+        continue;
+      }
+      have.push_back(entry.name);
+      entries.push_back(std::move(entry));
+    }
+  }
+  obs::ResetProfiler();
+  obs::SetTraceEnabled(was_enabled);
+
+  std::sort(entries.begin(), entries.end(),
+            [](const obs::RooflineEntry& a, const obs::RooflineEntry& b) {
+              return a.name < b.name;
+            });
+
+  bench::PrintSectionTitle("roofline (calibrated peaks)");
+  std::printf("peaks: %.1f GFLOP/s x %d threads, %.1f GB/s (1T triad), "
+              "cpu: %s%s\n",
+              peaks.gflops_1t, threads, peaks.gbps_1t,
+              peaks.cpu_model.c_str(), peaks.from_cache ? " [cached]" : "");
+  bench::PrintTableHeader(
+      {"op", "GFLOP/s", "GB/s", "int", "%roof", "bound"}, 24, 10);
+  for (const obs::RooflineEntry& entry : entries) {
+    std::printf("%-24s%-10.2f%-10.2f%-10.2f%-10.1f%s\n", entry.name.c_str(),
+                entry.achieved_gflops, entry.achieved_gbps, entry.intensity,
+                entry.pct_of_roof, entry.compute_bound ? "compute" : "memory");
+  }
+
+  bench::MaybeWriteBenchJson("roofline",
+                             obs::RooflineJson(entries, peaks, threads));
+}
+
 }  // namespace
 }  // namespace sthsl
 
@@ -226,5 +379,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   sthsl::RunThreadScalingSweep();
+  sthsl::RunRooflineBench();
   return 0;
 }

@@ -66,6 +66,19 @@ std::string OpsJson(const std::vector<obs::OpProfile>& ops) {
     json += ",\"forward_us\":" + std::to_string(op.forward_us);
     json += ",\"backward_calls\":" + std::to_string(op.backward_calls);
     json += ",\"backward_us\":" + std::to_string(op.backward_us);
+    json += ",\"forward_flops\":" + std::to_string(op.forward_flops);
+    json += ",\"backward_flops\":" + std::to_string(op.backward_flops);
+    json += ",\"bytes_touched\":" + std::to_string(op.bytes_touched);
+    json += ",\"backward_bytes\":" + std::to_string(op.backward_bytes);
+    const int64_t total_bytes = op.bytes_touched + op.backward_bytes;
+    const double intensity =
+        total_bytes > 0
+            ? static_cast<double>(op.forward_flops + op.backward_flops) /
+                  static_cast<double>(total_bytes)
+            : 0.0;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", intensity);
+    json += ",\"intensity\":" + std::string(buf);
     json += "}";
   }
   json += "]";

@@ -4,6 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "exec/exec.h"
+#include "util/logging.h"
+#include "util/obs/calibrate.h"
+#include "util/obs/export.h"
 #include "util/obs/run_ledger.h"
 
 namespace sthsl::bench {
@@ -20,6 +24,35 @@ int64_t EnvInt(const char* name, int64_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;
   return std::atoll(env);
+}
+
+std::string GitHashOrUnknown() {
+  std::FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  const size_t n = std::fread(buf, 1, sizeof buf - 1, pipe);
+  pclose(pipe);
+  std::string hash(buf, n);
+  while (!hash.empty() && (hash.back() == '\n' || hash.back() == '\r')) {
+    hash.pop_back();
+  }
+  return hash.empty() ? "unknown" : hash;
+}
+
+// Provenance stamp spliced into every bench JSON document so a committed
+// artifact records where its numbers came from. Purely additive keys:
+// existing consumers that look up their own fields are unaffected.
+std::string ProvenanceJson() {
+  std::string json = "\"provenance\":{\"git_hash\":\"";
+  json += obs::JsonEscape(GitHashOrUnknown());
+  json += "\",\"created_utc\":\"";
+  json += obs::JsonEscape(internal_logging::FormatTimestampIso8601());
+  json += "\",\"threads\":";
+  json += std::to_string(exec::ThreadCount());
+  json += ",\"cpu_model\":\"";
+  json += obs::JsonEscape(obs::CpuModelName());
+  json += "\"}";
+  return json;
 }
 
 }  // namespace
@@ -67,7 +100,17 @@ void MaybeWriteBenchJson(const std::string& name, const std::string& json) {
     std::fprintf(stderr, "[bench] cannot open %s for writing\n", path.c_str());
     return;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
+  // Stamp provenance right after the opening brace of object documents.
+  std::string stamped = json;
+  const size_t brace = stamped.find_first_not_of(" \t\r\n");
+  if (brace != std::string::npos && stamped[brace] == '{') {
+    const std::string provenance = ProvenanceJson();
+    const bool empty_object =
+        stamped.find_first_not_of(" \t\r\n", brace + 1) != std::string::npos &&
+        stamped[stamped.find_first_not_of(" \t\r\n", brace + 1)] == '}';
+    stamped.insert(brace + 1, provenance + (empty_object ? "" : ","));
+  }
+  std::fwrite(stamped.data(), 1, stamped.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
   std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());

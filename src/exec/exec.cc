@@ -9,12 +9,47 @@
 #include <mutex>
 #include <thread>
 
+#include "util/obs/metrics.h"
 #include "util/obs/obs.h"
 
 namespace sthsl::exec {
 namespace {
 
 constexpr int kMaxThreads = 512;
+
+// Pool utilization telemetry (PoolStats / PublishPoolStats). Busy time is
+// attributed per worker slot — fixed when the worker thread starts — with
+// launching callers aggregated into one cell, since callers participate in
+// their own regions. Always on: per chunk this costs two monotonic clock
+// reads and a few relaxed atomic adds, negligible against grain-sized work.
+struct Telemetry {
+  Telemetry() {
+    for (auto& cell : worker_busy_ns) cell.store(0, std::memory_order_relaxed);
+    for (auto& cell : worker_start_us) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<int64_t> regions_launched{0};
+  std::atomic<int64_t> chunks_executed{0};
+  std::atomic<int64_t> caller_busy_ns{0};
+  std::atomic<int64_t> max_queue_depth{0};
+  // High-water worker-slot count (slots restart at 0 after ShutdownPool and
+  // keep their cumulative busy time).
+  std::atomic<int> workers_started{0};
+  std::atomic<int64_t> worker_busy_ns[kMaxThreads];
+  // TraceNowMicros() reading when the slot's current thread started, for the
+  // idle = uptime - busy estimate.
+  std::atomic<int64_t> worker_start_us[kMaxThreads];
+};
+
+Telemetry& T() {
+  static Telemetry* telemetry = new Telemetry();
+  return *telemetry;
+}
+
+// Worker slot of the calling thread; -1 for non-pool threads (callers).
+thread_local int t_worker_slot = -1;
 
 // Thread count: 0 means "not resolved yet"; resolved lazily from
 // STHSL_THREADS (then hardware concurrency) on first read so tests and
@@ -63,6 +98,9 @@ struct Region {
   std::mutex done_mu;
   std::condition_variable done_cv;
   obs::ParallelRegionToken token;
+  // Summed chunk-execution time across every thread that ran a chunk of
+  // this region; feeds the per-tag parallel-efficiency columns.
+  std::atomic<int64_t> busy_ns{0};
 };
 
 struct Pool {
@@ -85,19 +123,30 @@ void ExecuteChunk(Region& region, int64_t chunk) {
   int64_t e = b + region.chunk_size;
   if (e > region.end) e = region.end;
   if (!region.failed.load(std::memory_order_relaxed)) {
-    const bool slice_traced = region.token.active;
-    const double slice_start = slice_traced ? obs::TraceNowMicros() : 0.0;
-    RegionGuard in_region;
-    try {
-      region.fn(region.ctx, chunk, b, e);
-    } catch (...) {
-      region.failed.store(true, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(region.error_mu);
-      if (!region.error) region.error = std::current_exception();
+    const double slice_start = obs::TraceNowMicros();
+    {
+      RegionGuard in_region;
+      try {
+        region.fn(region.ctx, chunk, b, e);
+      } catch (...) {
+        region.failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(region.error_mu);
+        if (!region.error) region.error = std::current_exception();
+      }
     }
-    if (slice_traced) {
-      obs::RecordParallelSlice(region.token, slice_start,
-                               obs::TraceNowMicros() - slice_start);
+    const double slice_us = obs::TraceNowMicros() - slice_start;
+    if (region.token.active) {
+      obs::RecordParallelSlice(region.token, slice_start, slice_us);
+    }
+    const int64_t slice_ns = static_cast<int64_t>(slice_us * 1e3);
+    region.busy_ns.fetch_add(slice_ns, std::memory_order_relaxed);
+    Telemetry& telemetry = T();
+    telemetry.chunks_executed.fetch_add(1, std::memory_order_relaxed);
+    if (t_worker_slot >= 0) {
+      telemetry.worker_busy_ns[t_worker_slot].fetch_add(
+          slice_ns, std::memory_order_relaxed);
+    } else {
+      telemetry.caller_busy_ns.fetch_add(slice_ns, std::memory_order_relaxed);
     }
   }
   if (region.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -106,7 +155,19 @@ void ExecuteChunk(Region& region, int64_t chunk) {
   }
 }
 
-void WorkerLoop() {
+void WorkerLoop(int slot) {
+  t_worker_slot = slot;
+  {
+    Telemetry& telemetry = T();
+    telemetry.worker_start_us[slot].store(
+        static_cast<int64_t>(obs::TraceNowMicros()),
+        std::memory_order_relaxed);
+    int started = telemetry.workers_started.load(std::memory_order_relaxed);
+    while (slot + 1 > started &&
+           !telemetry.workers_started.compare_exchange_weak(
+               started, slot + 1, std::memory_order_relaxed)) {
+    }
+  }
   Pool& pool = P();
   for (;;) {
     std::shared_ptr<Region> region;
@@ -137,7 +198,8 @@ void EnsureWorkersLocked(Pool& pool, int wanted) {
   }();
   (void)atexit_registered;
   while (static_cast<int>(pool.workers.size()) < wanted) {
-    pool.workers.emplace_back(WorkerLoop);
+    const int slot = static_cast<int>(pool.workers.size());
+    pool.workers.emplace_back(WorkerLoop, slot);
   }
 }
 
@@ -190,6 +252,70 @@ int64_t FixedChunkCount(int64_t range, int64_t grain) {
   return (range + grain - 1) / grain;
 }
 
+PoolStats GetPoolStats() {
+  PoolStats stats;
+  stats.thread_count = ThreadCount();
+  Pool& pool = P();
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    stats.queue_depth = static_cast<int>(pool.active.size());
+  }
+  Telemetry& telemetry = T();
+  stats.workers_started =
+      telemetry.workers_started.load(std::memory_order_relaxed);
+  stats.regions_launched =
+      telemetry.regions_launched.load(std::memory_order_relaxed);
+  stats.chunks_executed =
+      telemetry.chunks_executed.load(std::memory_order_relaxed);
+  stats.max_queue_depth = static_cast<int>(
+      telemetry.max_queue_depth.load(std::memory_order_relaxed));
+  stats.caller_busy_us =
+      static_cast<double>(
+          telemetry.caller_busy_ns.load(std::memory_order_relaxed)) /
+      1e3;
+  const double now_us = obs::TraceNowMicros();
+  stats.worker_busy_us.reserve(static_cast<size_t>(stats.workers_started));
+  stats.worker_idle_us.reserve(static_cast<size_t>(stats.workers_started));
+  for (int slot = 0; slot < stats.workers_started; ++slot) {
+    const double busy =
+        static_cast<double>(
+            telemetry.worker_busy_ns[slot].load(std::memory_order_relaxed)) /
+        1e3;
+    const double start = static_cast<double>(
+        telemetry.worker_start_us[slot].load(std::memory_order_relaxed));
+    double idle = now_us - start - busy;
+    if (idle < 0.0) idle = 0.0;
+    stats.worker_busy_us.push_back(busy);
+    stats.worker_idle_us.push_back(idle);
+  }
+  return stats;
+}
+
+void PublishPoolStats() {
+  const PoolStats stats = GetPoolStats();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("exec/threads").Set(stats.thread_count);
+  registry.GetGauge("exec/workers_started").Set(stats.workers_started);
+  registry.GetGauge("exec/regions_launched")
+      .Set(static_cast<double>(stats.regions_launched));
+  registry.GetGauge("exec/chunks_executed")
+      .Set(static_cast<double>(stats.chunks_executed));
+  registry.GetGauge("exec/queue_depth").Set(stats.queue_depth);
+  registry.GetGauge("exec/max_queue_depth").Set(stats.max_queue_depth);
+  registry.GetGauge("exec/busy_us").Set(stats.total_busy_us());
+  // Worker utilization: busy over uptime, averaged across started workers.
+  // Callers are excluded — their idle time is application time, not pool
+  // time.
+  double busy = 0.0;
+  double uptime = 0.0;
+  for (size_t i = 0; i < stats.worker_busy_us.size(); ++i) {
+    busy += stats.worker_busy_us[i];
+    uptime += stats.worker_busy_us[i] + stats.worker_idle_us[i];
+  }
+  registry.GetGauge("exec/worker_utilization")
+      .Set(uptime > 0.0 ? busy / uptime : 0.0);
+}
+
 namespace exec_internal {
 
 int64_t ThreadChunkSize(int64_t range, int64_t grain) {
@@ -215,10 +341,19 @@ void Launch(int64_t begin, int64_t end, int64_t chunk_size,
   region->token = obs::BeginParallelRegion(tag);
 
   Pool& pool = P();
+  Telemetry& telemetry = T();
+  telemetry.regions_launched.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(pool.mu);
     EnsureWorkersLocked(pool, ThreadCount() - 1);
     pool.active.push_back(region);
+    const auto depth = static_cast<int64_t>(pool.active.size());
+    int64_t max_depth =
+        telemetry.max_queue_depth.load(std::memory_order_relaxed);
+    while (depth > max_depth &&
+           !telemetry.max_queue_depth.compare_exchange_weak(
+               max_depth, depth, std::memory_order_relaxed)) {
+    }
   }
   pool.cv.notify_all();
 
@@ -250,7 +385,11 @@ void Launch(int64_t begin, int64_t end, int64_t chunk_size,
       return region->remaining.load(std::memory_order_acquire) == 0;
     });
   }
-  obs::EndParallelRegion(region->token);
+  obs::EndParallelRegion(
+      region->token,
+      static_cast<double>(region->busy_ns.load(std::memory_order_relaxed)) /
+          1e3,
+      num_chunks);
   if (region->failed.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(region->error_mu);
     if (region->error) std::rethrow_exception(region->error);

@@ -60,6 +60,45 @@ void ShutdownPool();
 /// function of range and grain, independent of the thread count.
 int64_t FixedChunkCount(int64_t range, int64_t grain);
 
+/// Cumulative pool utilization telemetry since process start. Busy time is
+/// measured per executed chunk (both pool workers and launching callers
+/// participate in regions), so `busy / (uptime · workers)` approximates
+/// worker utilization and per-tag efficiency comes from the obs layer's
+/// scope profiles. Always on — the accounting is a handful of relaxed
+/// atomic adds per chunk, independent of whether tracing is enabled.
+struct PoolStats {
+  /// Configured thread count (ThreadCount()).
+  int thread_count = 1;
+  /// Pool workers ever started (<= thread_count - 1; callers participate).
+  int workers_started = 0;
+  int64_t regions_launched = 0;
+  int64_t chunks_executed = 0;
+  /// Current and high-water region queue depth.
+  int queue_depth = 0;
+  int max_queue_depth = 0;
+  /// Chunk-execution time summed over all threads, split by who ran it.
+  double caller_busy_us = 0.0;
+  /// Per-worker busy / idle micros (idle = time parked since the worker
+  /// started minus its busy time); one entry per started worker.
+  std::vector<double> worker_busy_us;
+  std::vector<double> worker_idle_us;
+
+  double total_busy_us() const {
+    double total = caller_busy_us;
+    for (double us : worker_busy_us) total += us;
+    return total;
+  }
+};
+
+/// Snapshot of the pool telemetry.
+PoolStats GetPoolStats();
+
+/// Publishes the current PoolStats into the obs metrics registry as
+/// `exec/*` gauges (threads, workers, regions_launched, chunks_executed,
+/// queue_depth, busy_us, utilization). Call before snapshotting the
+/// registry (the serving tier does this on every /metrics scrape).
+void PublishPoolStats();
+
 namespace exec_internal {
 
 using ChunkFn = void (*)(const void* ctx, int64_t chunk_index, int64_t begin,

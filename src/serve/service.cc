@@ -114,6 +114,32 @@ void PrometheusScalar(std::ostringstream& body, const std::string& name,
        << name << ' ' << value << '\n';
 }
 
+/// Execution-pool telemetry as a JSON object, embedded in both /statusz and
+/// the /metrics JSON document. Worker utilization is busy-time over uptime
+/// across started workers (callers excluded — their "idle" time is the rest
+/// of the request, not pool overhead).
+std::string ExecStatsJson() {
+  const exec::PoolStats stats = exec::GetPoolStats();
+  double worker_busy_us = 0.0;
+  double worker_uptime_us = 0.0;
+  for (size_t i = 0; i < stats.worker_busy_us.size(); ++i) {
+    worker_busy_us += stats.worker_busy_us[i];
+    worker_uptime_us += stats.worker_busy_us[i] + stats.worker_idle_us[i];
+  }
+  const double utilization =
+      worker_uptime_us > 0.0 ? worker_busy_us / worker_uptime_us : 0.0;
+  std::ostringstream out;
+  out << "{\"threads\": " << stats.thread_count
+      << ", \"workers_started\": " << stats.workers_started
+      << ", \"regions_launched\": " << stats.regions_launched
+      << ", \"chunks_executed\": " << stats.chunks_executed
+      << ", \"queue_depth\": " << stats.queue_depth
+      << ", \"max_queue_depth\": " << stats.max_queue_depth
+      << ", \"busy_us\": " << DoubleText(stats.total_busy_us())
+      << ", \"worker_utilization\": " << DoubleText(utilization) << "}";
+  return out.str();
+}
+
 }  // namespace
 
 PredictService::PredictService(InferenceEngine* engine) : engine_(engine) {}
@@ -249,6 +275,9 @@ HttpResponse PredictService::HandleHealth(const HttpRequest& request) {
 }
 
 HttpResponse PredictService::HandleMetrics(const HttpRequest& request) {
+  // Refresh the exec/* gauges from the pool's live counters so every scrape
+  // sees current thread-pool telemetry in both exposition formats.
+  exec::PublishPoolStats();
   auto& registry = obs::MetricsRegistry::Global();
   const PredictionCache::Stats cache = engine_->cache_stats();
   const MicroBatcher::Stats batcher = engine_->batcher_stats();
@@ -328,7 +357,8 @@ HttpResponse PredictService::HandleMetrics(const HttpRequest& request) {
        << ", \"requests\": " << batcher.requests
        << ", \"size_flushes\": " << batcher.size_flushes
        << ", \"timeout_flushes\": " << batcher.timeout_flushes
-       << ", \"drain_flushes\": " << batcher.drain_flushes << "}}";
+       << ", \"drain_flushes\": " << batcher.drain_flushes
+       << "}, \"exec\": " << ExecStatsJson() << "}";
   HttpResponse response;
   response.body = body.str();
   return response;
@@ -358,7 +388,8 @@ HttpResponse PredictService::HandleStatusz(const HttpRequest& request) {
        << ", \"requests\": " << batcher.requests
        << ", \"size_flushes\": " << batcher.size_flushes
        << ", \"timeout_flushes\": " << batcher.timeout_flushes
-       << ", \"drain_flushes\": " << batcher.drain_flushes << "}}";
+       << ", \"drain_flushes\": " << batcher.drain_flushes
+       << "}, \"exec\": " << ExecStatsJson() << "}";
   HttpResponse response;
   response.body = body.str();
   return response;

@@ -5,6 +5,7 @@
 #include "exec/exec.h"
 #include "tensor/debug_validator.h"
 #include "util/check.h"
+#include "util/obs/obs.h"
 
 namespace sthsl {
 namespace {
@@ -13,6 +14,19 @@ namespace {
 // independent, so chunking never changes the result. Small tensors (the
 // common case for biases) run inline.
 constexpr int64_t kOptimGrain = 8192;
+
+// Analytic per-element update costs (see docs/performance.md). The optimizer
+// loops never pass through MakeResult, so their profiler samples are
+// recorded explicitly at the end of each Step.
+//   SGD+momentum: g+wd·x, µ·v+g, x−=lr·v            → 6 flops, 5 floats moved
+//   plain SGD:    x −= lr·(g+wd·x)                   → 4 flops, 3 floats moved
+//   Adam: wd, m/v EMAs, bias correction, update     → 16 flops, 7 floats moved
+constexpr int64_t kSgdMomentumFlopsPerElem = 6;
+constexpr int64_t kSgdMomentumBytesPerElem = 5 * 4;
+constexpr int64_t kSgdPlainFlopsPerElem = 4;
+constexpr int64_t kSgdPlainBytesPerElem = 3 * 4;
+constexpr int64_t kAdamFlopsPerElem = 16;
+constexpr int64_t kAdamBytesPerElem = 7 * 4;
 
 }  // namespace
 
@@ -39,12 +53,17 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
 
 void Sgd::Step() {
   if (DebugChecksEnabled()) ValidateOptimizerStep("Sgd", params_);
+  const bool obs_on = obs::TraceEnabled();
+  const double obs_start_us = obs_on ? obs::TraceNowMicros() : 0.0;
+  int64_t momentum_elems = 0;
+  int64_t plain_elems = 0;
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     const auto& g = p.Grad();
     if (g.empty()) continue;  // parameter did not participate this step
     auto& data = p.MutableData();
     if (momentum_ > 0.0f) {
+      momentum_elems += static_cast<int64_t>(data.size());
       auto& vel = velocity_[i];
       if (vel.empty()) vel.assign(data.size(), 0.0f);
       exec::ParallelFor(
@@ -58,6 +77,7 @@ void Sgd::Step() {
           },
           "exec/sgd_step");
     } else {
+      plain_elems += static_cast<int64_t>(data.size());
       exec::ParallelFor(
           0, static_cast<int64_t>(data.size()), kOptimGrain,
           [&](int64_t lo, int64_t hi) {
@@ -67,6 +87,14 @@ void Sgd::Step() {
           },
           "exec/sgd_step");
     }
+  }
+  if (obs_on) {
+    obs::RecordKernelSample(
+        "sgd_step", obs::TraceNowMicros() - obs_start_us,
+        momentum_elems * kSgdMomentumBytesPerElem +
+            plain_elems * kSgdPlainBytesPerElem,
+        momentum_elems * kSgdMomentumFlopsPerElem +
+            plain_elems * kSgdPlainFlopsPerElem);
   }
 }
 
@@ -84,6 +112,9 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
 
 void Adam::Step() {
   if (DebugChecksEnabled()) ValidateOptimizerStep("Adam", params_);
+  const bool obs_on = obs::TraceEnabled();
+  const double obs_start_us = obs_on ? obs::TraceNowMicros() : 0.0;
+  int64_t updated_elems = 0;
   ++step_count_;
   const float bc1 =
       1.0f - std::pow(beta1_, static_cast<float>(step_count_));
@@ -100,6 +131,7 @@ void Adam::Step() {
       m.assign(data.size(), 0.0f);
       v.assign(data.size(), 0.0f);
     }
+    updated_elems += static_cast<int64_t>(data.size());
     exec::ParallelFor(
         0, static_cast<int64_t>(data.size()), kOptimGrain,
         [&](int64_t lo, int64_t hi) {
@@ -113,6 +145,11 @@ void Adam::Step() {
           }
         },
         "exec/adam_step");
+  }
+  if (obs_on) {
+    obs::RecordKernelSample("adam_step", obs::TraceNowMicros() - obs_start_us,
+                            updated_elems * kAdamBytesPerElem,
+                            updated_elems * kAdamFlopsPerElem);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "tensor/debug_validator.h"
+#include "tensor/kernel_cost.h"
 #include "util/check.h"
 #include "util/obs/obs.h"
 
@@ -318,7 +319,12 @@ void Tensor::Backward(const Tensor& seed) const {
     const bool obs_on = obs::TraceEnabled();
     const double obs_start_us = obs_on ? obs::TraceNowMicros() : 0.0;
     std::vector<Tensor> input_grads = fn->backward(grad_out);
-    if (obs_on) obs::RecordBackwardOp(fn->op_name, obs_start_us);
+    if (obs_on) {
+      obs::RecordBackwardOp(fn->op_name, obs_start_us,
+                            BackwardOpFlops(fn->op_name, fn->inputs,
+                                            node->shape),
+                            BackwardOpBytes(fn->inputs, node->shape));
+    }
     fn->backward_consumed = true;
     STHSL_CHECK_EQ(input_grads.size(), fn->inputs.size())
         << "backward of " << fn->op_name
@@ -376,7 +382,7 @@ Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> data,
     for (const auto& input : inputs) {
       if (input.Defined()) bytes += input.Numel() * 4;
     }
-    obs::RecordForwardOp(op_name, bytes);
+    obs::RecordForwardOp(op_name, bytes, ForwardOpFlops(op_name, inputs, shape));
   }
   STHSL_CHECK_EQ(NumelOf(shape), static_cast<int64_t>(data.size()))
       << "MakeResult size mismatch in op " << op_name;

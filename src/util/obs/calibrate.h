@@ -1,0 +1,62 @@
+#ifndef STHSL_UTIL_OBS_CALIBRATE_H_
+#define STHSL_UTIL_OBS_CALIBRATE_H_
+
+// One-shot machine-peak calibration for the roofline reporter: a dependent
+// FMA-chain loop measures single-thread peak GFLOP/s, a stream-triad sweep
+// over LLC-sized buffers measures single-thread memory bandwidth. Results
+// are cached (keyed by CPU model, so a container migrated across hosts
+// recalibrates) in `~/.cache/sthsl/machine_peaks.json` — overridable via
+// STHSL_CACHE_DIR — and exposed to users as `sthsl_cli calibrate`.
+//
+// The measurements are deliberately single-threaded: the calibrator lives in
+// the util layer, below sthsl::exec. The roofline join scales the compute
+// roof by the thread count actually used; the memory roof stays the
+// single-core triad figure, which makes multi-threaded %-of-roof numbers
+// conservative for bandwidth-bound ops (see docs/performance.md).
+
+#include <string>
+
+namespace sthsl::obs {
+
+struct MachinePeaks {
+  /// Measured single-thread peaks.
+  double gflops_1t = 0.0;
+  double gbps_1t = 0.0;
+  int hardware_threads = 1;
+  /// Provenance: the CPU the numbers were measured on, and when.
+  std::string cpu_model;
+  std::string created_utc;
+  /// True when the values came from the cache file rather than a fresh run.
+  bool from_cache = false;
+
+  bool valid() const { return gflops_1t > 0.0 && gbps_1t > 0.0; }
+};
+
+/// The CPU model string from /proc/cpuinfo ("unknown" when unreadable).
+std::string CpuModelName();
+
+/// Number of online hardware threads (>= 1).
+int HardwareThreads();
+
+/// Absolute path of the peaks cache file.
+std::string PeaksCachePath();
+
+/// Runs the FMA and triad measurement loops, splitting roughly
+/// `seconds_budget` of wall time between them. Does not touch the cache.
+MachinePeaks MeasureMachinePeaks(double seconds_budget);
+
+/// Parses a cached peaks file. False when missing, malformed, or incomplete.
+bool LoadCachedPeaks(const std::string& path, MachinePeaks* out);
+
+/// Writes `peaks` to `path`, creating parent directories as needed.
+bool SaveMachinePeaks(const std::string& path, const MachinePeaks& peaks);
+
+/// Cache-through entry point: returns cached peaks when the file exists and
+/// was measured on this CPU model; otherwise measures (`seconds_budget`) and
+/// rewrites the cache. `force_remeasure` skips the cache read.
+MachinePeaks CalibrateMachinePeaks(bool force_remeasure,
+                                   double seconds_budget = 1.0);
+
+}  // namespace sthsl::obs
+
+#endif  // STHSL_UTIL_OBS_CALIBRATE_H_

@@ -69,8 +69,9 @@ void PrintObsSummary(std::FILE* out) {
   const std::vector<OpProfile> ops = SortedOps();
   if (!ops.empty()) {
     std::fprintf(out, "[sthsl-obs] per-op profile (self time)\n");
-    std::fprintf(out, "  %-24s %9s %12s %9s %12s %10s\n", "op", "calls",
-                 "fwd_ms", "bwd_calls", "bwd_ms", "MB");
+    std::fprintf(out, "  %-24s %9s %12s %9s %12s %10s %10s %8s\n", "op",
+                 "calls", "fwd_ms", "bwd_calls", "bwd_ms", "MB", "GFLOP",
+                 "GF/s");
     double total_fwd = 0.0;
     double total_bwd = 0.0;
     const size_t shown = std::min<size_t>(ops.size(), 20);
@@ -80,11 +81,15 @@ void PrintObsSummary(std::FILE* out) {
     }
     for (size_t i = 0; i < shown; ++i) {
       const OpProfile& op = ops[i];
+      const double gflop =
+          static_cast<double>(op.forward_flops + op.backward_flops) / 1e9;
+      const double total_us = op.forward_us + op.backward_us;
+      const double gfps = total_us > 0.0 ? gflop * 1e6 / total_us : 0.0;
       std::fprintf(out, "  %-24s %9" PRId64 " %12.3f %9" PRId64
-                   " %12.3f %10.2f\n",
+                   " %12.3f %10.2f %10.3f %8.2f\n",
                    op.name.c_str(), op.forward_calls, op.forward_us / 1e3,
                    op.backward_calls, op.backward_us / 1e3,
-                   static_cast<double>(op.bytes_touched) / 1e6);
+                   static_cast<double>(op.bytes_touched) / 1e6, gflop, gfps);
     }
     if (ops.size() > shown) {
       std::fprintf(out, "  ... %zu more op(s)\n", ops.size() - shown);
@@ -96,10 +101,16 @@ void PrintObsSummary(std::FILE* out) {
   const std::vector<ScopeProfile> scopes = SortedScopes();
   if (!scopes.empty()) {
     std::fprintf(out, "[sthsl-obs] phase scopes\n");
-    std::fprintf(out, "  %-28s %9s %12s\n", "scope", "calls", "total_ms");
+    // "par" is effective parallelism (busy / wall) for exec-layer tags;
+    // divide by the thread count for parallel efficiency.
+    std::fprintf(out, "  %-28s %9s %12s %12s %6s\n", "scope", "calls",
+                 "total_ms", "busy_ms", "par");
     for (const ScopeProfile& scope : scopes) {
-      std::fprintf(out, "  %-28s %9" PRId64 " %12.3f\n", scope.name.c_str(),
-                   scope.calls, scope.total_us / 1e3);
+      const double par =
+          scope.total_us > 0.0 ? scope.busy_us / scope.total_us : 0.0;
+      std::fprintf(out, "  %-28s %9" PRId64 " %12.3f %12.3f %6.2f\n",
+                   scope.name.c_str(), scope.calls, scope.total_us / 1e3,
+                   scope.busy_us / 1e3, par);
     }
   }
 
@@ -197,7 +208,10 @@ std::string MetricsJson() {
          << ",\"forward_us\":" << op.forward_us
          << ",\"backward_calls\":" << op.backward_calls
          << ",\"backward_us\":" << op.backward_us
-         << ",\"bytes_touched\":" << op.bytes_touched << "}";
+         << ",\"bytes_touched\":" << op.bytes_touched
+         << ",\"forward_flops\":" << op.forward_flops
+         << ",\"backward_flops\":" << op.backward_flops
+         << ",\"backward_bytes\":" << op.backward_bytes << "}";
     first = false;
   }
   json << "],\"scopes\":[";
@@ -205,7 +219,9 @@ std::string MetricsJson() {
   for (const ScopeProfile& scope : SortedScopes()) {
     json << (first ? "" : ",") << "{\"name\":\"" << JsonEscape(scope.name)
          << "\",\"calls\":" << scope.calls
-         << ",\"total_us\":" << scope.total_us << "}";
+         << ",\"total_us\":" << scope.total_us
+         << ",\"busy_us\":" << scope.busy_us
+         << ",\"slices\":" << scope.slices << "}";
     first = false;
   }
   json << "],\"tensor_memory\":{\"live_bytes\":" << LiveTensorBytes()

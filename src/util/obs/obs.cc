@@ -160,7 +160,8 @@ void SetMetricsOutPath(std::string path) {
 
 double TraceNowMicros() { return TraceClock().ElapsedMicros(); }
 
-void RecordForwardOp(const std::string& name, int64_t bytes_touched) {
+void RecordForwardOp(const std::string& name, int64_t bytes_touched,
+                     int64_t flops) {
   const double now = TraceNowMicros();
   const double dur = t_boundary_us >= 0.0 ? now - t_boundary_us : 0.0;
   t_boundary_us = now;
@@ -171,10 +172,12 @@ void RecordForwardOp(const std::string& name, int64_t bytes_touched) {
   ++op.forward_calls;
   op.forward_us += dur;
   op.bytes_touched += bytes_touched;
+  op.forward_flops += flops;
   AddEventLocked(state, name, "op", now - dur, dur, ThisTid());
 }
 
-void RecordBackwardOp(const std::string& name, double start_us) {
+void RecordBackwardOp(const std::string& name, double start_us, int64_t flops,
+                      int64_t bytes) {
   const double now = TraceNowMicros();
   t_boundary_us = now;
   State& state = S();
@@ -183,7 +186,23 @@ void RecordBackwardOp(const std::string& name, double start_us) {
   op.name = name;
   ++op.backward_calls;
   op.backward_us += now - start_us;
+  op.backward_flops += flops;
+  op.backward_bytes += bytes;
   AddEventLocked(state, name, "backward", start_us, now - start_us, ThisTid());
+}
+
+void RecordKernelSample(const std::string& name, double dur_us, int64_t bytes,
+                        int64_t flops) {
+  const double now = TraceNowMicros();
+  State& state = S();
+  std::lock_guard<std::mutex> lock(state.mu);
+  OpProfile& op = state.ops[name];
+  op.name = name;
+  ++op.forward_calls;
+  op.forward_us += dur_us;
+  op.bytes_touched += bytes;
+  op.forward_flops += flops;
+  AddEventLocked(state, name, "op", now - dur_us, dur_us, ThisTid());
 }
 
 bool InBackwardPass() { return t_backward_depth > 0; }
@@ -248,7 +267,8 @@ void RecordParallelSlice(const ParallelRegionToken& token, double start_us,
   AddEventLocked(state, token.tag, "exec", start_us, dur_us, ThisTid());
 }
 
-void EndParallelRegion(const ParallelRegionToken& token) {
+void EndParallelRegion(const ParallelRegionToken& token, double busy_us,
+                       int64_t slices) {
   if (!token.active) return;
   const double dur = TraceNowMicros() - token.start_us;
   State& state = S();
@@ -257,6 +277,8 @@ void EndParallelRegion(const ParallelRegionToken& token) {
   scope.name = token.tag;
   ++scope.calls;
   scope.total_us += dur;
+  scope.busy_us += busy_us;
+  scope.slices += slices;
 }
 
 void OnTensorAlloc(int64_t bytes) {

@@ -52,13 +52,26 @@ struct OpProfile {
   double backward_us = 0.0;
   /// Bytes read + written per forward call: 4 * (output numel + input numels).
   int64_t bytes_touched = 0;
+  /// Analytic floating-point operation counts from the per-op cost model
+  /// (src/tensor/kernel_cost.h); zero for ops without a model (pure data
+  /// movement) and for callers that predate the model.
+  int64_t forward_flops = 0;
+  int64_t backward_flops = 0;
+  /// Modeled bytes read + written across the op's backward function.
+  int64_t backward_bytes = 0;
 };
 
-/// Aggregated cost of one named scoped region (model phase).
+/// Aggregated cost of one named scoped region (model phase). For exec-layer
+/// parallel-region tags the busy columns are additionally filled in:
+/// `busy_us` sums the chunk-execution time across every participating thread
+/// and `slices` counts executed chunks, so per-tag parallel efficiency is
+/// busy_us / (total_us * threads).
 struct ScopeProfile {
   std::string name;
   int64_t calls = 0;
   double total_us = 0.0;
+  double busy_us = 0.0;
+  int64_t slices = 0;
 };
 
 /// One slice of the Chrome trace ("ph":"X" complete event).
@@ -75,11 +88,22 @@ double TraceNowMicros();
 
 /// Called by MakeResult once per forward op: attributes the wall time since
 /// the previous op boundary on this thread and appends a trace event.
-void RecordForwardOp(const std::string& name, int64_t bytes_touched);
+/// `flops` is the op's analytic forward operation count (0 when unmodeled).
+void RecordForwardOp(const std::string& name, int64_t bytes_touched,
+                     int64_t flops = 0);
 
 /// Called by Tensor::Backward around each GradNode's backward function;
 /// `start_us` is the TraceNowMicros() reading taken before the call.
-void RecordBackwardOp(const std::string& name, double start_us);
+/// `flops` / `bytes` are the analytic backward cost model for the op.
+void RecordBackwardOp(const std::string& name, double start_us,
+                      int64_t flops = 0, int64_t bytes = 0);
+
+/// Records one explicitly-timed kernel sample into the forward columns of
+/// `name`'s profile, without touching this thread's op boundary. For kernels
+/// that never pass through MakeResult (optimizer update loops); single
+/// mutex-protected update, only call when TraceEnabled().
+void RecordKernelSample(const std::string& name, double dur_us, int64_t bytes,
+                        int64_t flops);
 
 /// True while a Backward pass runs on this thread. MakeResult skips forward
 /// attribution then, so ops executed inside backward functions are not
@@ -156,8 +180,11 @@ void RecordParallelSlice(const ParallelRegionToken& token, double start_us,
                          double dur_us);
 
 /// Closes the region on the launching thread: accumulates the region's wall
-/// time into the scope profile named by its tag. No-op for inactive tokens.
-void EndParallelRegion(const ParallelRegionToken& token);
+/// time — plus the summed per-chunk busy time and executed-chunk count the
+/// exec layer measured — into the scope profile named by its tag. No-op for
+/// inactive tokens.
+void EndParallelRegion(const ParallelRegionToken& token, double busy_us = 0.0,
+                       int64_t slices = 0);
 
 // -- Tensor memory accounting -------------------------------------------------
 

@@ -1,0 +1,122 @@
+#include "util/obs/perf_counters.h"
+
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace sthsl::obs {
+namespace {
+
+bool ForcedOff() {
+  const char* value = std::getenv("STHSL_PERF_DISABLE");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+#if defined(__linux__)
+
+// Event configs in fds_ slot order; slot 0 (cycles) is the group leader.
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+constexpr EventSpec kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int OpenEvent(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // the leader gates the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU.
+  const long fd = syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0);
+  return static_cast<int>(fd);
+}
+
+int64_t ReadCounter(int fd) {
+  if (fd < 0) return -1;
+  uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return -1;
+  return static_cast<int64_t>(value);
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+HwCounterGroup::HwCounterGroup() {
+  for (int i = 0; i < kNumEvents; ++i) fds_[i] = -1;
+  if (ForcedOff()) return;
+#if defined(__linux__)
+  fds_[0] = OpenEvent(kEvents[0], -1);
+  if (fds_[0] < 0) return;  // syscall refused: stay a clean no-op
+  available_ = true;
+  for (int i = 1; i < kNumEvents; ++i) {
+    // A sibling the PMU cannot provide (unsupported cache event, counter
+    // pressure) reads as -1; the rest of the group stays meaningful.
+    fds_[i] = OpenEvent(kEvents[i], fds_[0]);
+  }
+#endif
+}
+
+HwCounterGroup::~HwCounterGroup() {
+#if defined(__linux__)
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+#endif
+}
+
+void HwCounterGroup::Start() {
+#if defined(__linux__)
+  if (!available_) return;
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#endif
+}
+
+HwCounterSample HwCounterGroup::Stop() {
+  HwCounterSample sample;
+#if defined(__linux__)
+  if (!available_) return sample;
+  ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  sample.valid = true;
+  sample.cycles = ReadCounter(fds_[0]);
+  sample.instructions = ReadCounter(fds_[1]);
+  sample.l1d_misses = ReadCounter(fds_[2]);
+  sample.llc_misses = ReadCounter(fds_[3]);
+  sample.branch_misses = ReadCounter(fds_[4]);
+#endif
+  return sample;
+}
+
+bool HwCounterGroup::SupportedOnThisSystem() {
+  static const bool supported = [] {
+    HwCounterGroup probe;
+    return probe.available();
+  }();
+  // The cached probe answers "can the syscall succeed here at all"; the env
+  // override is re-read so tests can force the fallback at any point.
+  return supported && !ForcedOff();
+}
+
+}  // namespace sthsl::obs

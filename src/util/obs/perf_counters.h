@@ -1,0 +1,69 @@
+#ifndef STHSL_UTIL_OBS_PERF_COUNTERS_H_
+#define STHSL_UTIL_OBS_PERF_COUNTERS_H_
+
+// Hardware performance counters for profiled regions, built on Linux
+// `perf_event_open`. One HwCounterGroup opens a counter group (cycles as the
+// group leader; instructions, L1d-read misses, LLC misses and branch misses
+// as siblings) pinned to the calling thread, so all five are scheduled onto
+// the PMU together and their ratios are meaningful.
+//
+// Portability contract: on non-Linux builds, in containers that mask the
+// syscall (EPERM/EACCES/ENOSYS — common under seccomp or with
+// kernel.perf_event_paranoid >= 2), or when STHSL_PERF_DISABLE=1 is set, the
+// group reports available() == false and every operation is a clean no-op —
+// samples come back with valid == false and callers degrade to wall-time-only
+// reporting. Opening never throws and never aborts the process.
+
+#include <cstdint>
+
+namespace sthsl::obs {
+
+/// One reading of the counter group. `valid` is false when the counters are
+/// unavailable; individual counters that failed to open (e.g. an unsupported
+/// cache event on this CPU) read as -1 while the rest stay meaningful.
+struct HwCounterSample {
+  bool valid = false;
+  int64_t cycles = 0;
+  int64_t instructions = 0;
+  int64_t l1d_misses = 0;
+  int64_t llc_misses = 0;
+  int64_t branch_misses = 0;
+};
+
+/// RAII counter group attached to the calling thread. Typical use:
+///
+///   HwCounterGroup counters;
+///   counters.Start();          // reset + enable (no-op when unavailable)
+///   RunKernel();
+///   HwCounterSample s = counters.Stop();   // disable + read
+class HwCounterGroup {
+ public:
+  HwCounterGroup();
+  ~HwCounterGroup();
+
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  /// True when the group leader opened successfully.
+  bool available() const { return available_; }
+
+  /// Resets all counters to zero and enables counting.
+  void Start();
+
+  /// Disables counting and returns the accumulated totals since Start().
+  HwCounterSample Stop();
+
+  /// Whether a counter group can be opened at all on this system (one probe
+  /// per process, cached). False on non-Linux, under STHSL_PERF_DISABLE=1,
+  /// and when the kernel refuses the syscall.
+  static bool SupportedOnThisSystem();
+
+ private:
+  static constexpr int kNumEvents = 5;
+  int fds_[kNumEvents];
+  bool available_ = false;
+};
+
+}  // namespace sthsl::obs
+
+#endif  // STHSL_UTIL_OBS_PERF_COUNTERS_H_

@@ -1,0 +1,115 @@
+#include "util/obs/roofline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/json_mini.h"
+
+namespace sthsl::obs {
+namespace {
+
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+void AppendCountersJson(std::ostringstream& out,
+                        const HwCounterSample& counters) {
+  if (!counters.valid) {
+    out << "\"counters\":null";
+    return;
+  }
+  out << "\"counters\":{\"cycles\":" << counters.cycles
+      << ",\"instructions\":" << counters.instructions
+      << ",\"l1d_misses\":" << counters.l1d_misses
+      << ",\"llc_misses\":" << counters.llc_misses
+      << ",\"branch_misses\":" << counters.branch_misses << "}";
+}
+
+}  // namespace
+
+double ComputeRoofGflops(const MachinePeaks& peaks, int threads) {
+  return peaks.gflops_1t * std::max(threads, 1);
+}
+
+RooflineEntry MakeRooflineEntry(std::string name, int64_t calls,
+                                int64_t flops, int64_t bytes, double us,
+                                const MachinePeaks& peaks, int threads) {
+  RooflineEntry entry;
+  entry.name = std::move(name);
+  entry.calls = calls;
+  entry.flops = flops;
+  entry.bytes = bytes;
+  entry.us = us;
+  if (flops <= 0 || bytes <= 0 || us <= 0.0 || !peaks.valid()) return entry;
+  entry.intensity = static_cast<double>(flops) / static_cast<double>(bytes);
+  entry.achieved_gflops = static_cast<double>(flops) / (us * 1e3);
+  entry.achieved_gbps = static_cast<double>(bytes) / (us * 1e3);
+  const double compute_roof = ComputeRoofGflops(peaks, threads);
+  const double ridge = compute_roof / peaks.gbps_1t;
+  entry.compute_bound = entry.intensity >= ridge;
+  entry.roof_gflops =
+      std::min(compute_roof, entry.intensity * peaks.gbps_1t);
+  entry.pct_of_roof = 100.0 * entry.achieved_gflops / entry.roof_gflops;
+  return entry;
+}
+
+std::vector<RooflineEntry> BuildRoofline(const std::vector<OpProfile>& ops,
+                                         const MachinePeaks& peaks,
+                                         int threads) {
+  std::vector<RooflineEntry> entries;
+  for (const auto& op : ops) {
+    if (op.forward_flops > 0 && op.forward_us > 0.0) {
+      entries.push_back(MakeRooflineEntry(op.name, op.forward_calls,
+                                          op.forward_flops, op.bytes_touched,
+                                          op.forward_us, peaks, threads));
+    }
+    if (op.backward_flops > 0 && op.backward_us > 0.0) {
+      entries.push_back(MakeRooflineEntry(op.name + ".bwd", op.backward_calls,
+                                          op.backward_flops,
+                                          op.backward_bytes, op.backward_us,
+                                          peaks, threads));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const RooflineEntry& a, const RooflineEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+std::string RooflineJson(const std::vector<RooflineEntry>& entries,
+                         const MachinePeaks& peaks, int threads) {
+  std::ostringstream out;
+  const double compute_roof = ComputeRoofGflops(peaks, threads);
+  out << "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":"
+      << json::JsonQuote(peaks.cpu_model)
+      << ",\"gflops_1t\":" << Num(peaks.gflops_1t)
+      << ",\"gbps_1t\":" << Num(peaks.gbps_1t) << ",\"threads\":" << threads
+      << ",\"compute_roof_gflops\":" << Num(compute_roof)
+      << ",\"memory_roof_gbps\":" << Num(peaks.gbps_1t)
+      << ",\"calibrated_utc\":" << json::JsonQuote(peaks.created_utc)
+      << ",\"from_cache\":" << (peaks.from_cache ? "true" : "false")
+      << "},\"ops\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const RooflineEntry& e = entries[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":" << json::JsonQuote(e.name)
+        << ",\"calls\":" << e.calls << ",\"flops\":" << e.flops
+        << ",\"bytes\":" << e.bytes << ",\"us\":" << Num(e.us)
+        << ",\"intensity\":" << Num(e.intensity)
+        << ",\"achieved_gflops\":" << Num(e.achieved_gflops)
+        << ",\"achieved_gbps\":" << Num(e.achieved_gbps)
+        << ",\"roof_gflops\":" << Num(e.roof_gflops)
+        << ",\"pct_of_roof\":" << Num(e.pct_of_roof) << ",\"bound\":\""
+        << (e.compute_bound ? "compute" : "memory") << "\",";
+    AppendCountersJson(out, e.counters);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace sthsl::obs

@@ -1,0 +1,148 @@
+// Tests for the machine-peak calibrator: measurement sanity with a tiny
+// budget, the cache round-trip through STHSL_CACHE_DIR, and cache
+// invalidation when the cached CPU model does not match this host.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/obs/calibrate.h"
+
+namespace sthsl {
+namespace {
+
+/// Points STHSL_CACHE_DIR at a fresh per-test directory and restores the
+/// prior value on destruction.
+class CacheDirGuard {
+ public:
+  explicit CacheDirGuard(const std::string& dir) {
+    const char* prev = std::getenv("STHSL_CACHE_DIR");
+    had_previous_ = prev != nullptr;
+    if (had_previous_) previous_ = prev;
+    setenv("STHSL_CACHE_DIR", dir.c_str(), 1);
+  }
+  ~CacheDirGuard() {
+    if (had_previous_) {
+      setenv("STHSL_CACHE_DIR", previous_.c_str(), 1);
+    } else {
+      unsetenv("STHSL_CACHE_DIR");
+    }
+  }
+
+  CacheDirGuard(const CacheDirGuard&) = delete;
+  CacheDirGuard& operator=(const CacheDirGuard&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+std::string TestCacheDir(const char* label) {
+  const testing::TestInfo* info =
+      testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = testing::TempDir() + "sthsl_calibrate_";
+  dir += info != nullptr ? info->name() : label;
+  return dir;
+}
+
+TEST(CalibrateTest, MeasureReturnsPositivePeaksWithProvenance) {
+  // A ~40 ms budget is enough for a nonzero reading on any machine; the
+  // figures only need to be positive, not accurate.
+  const obs::MachinePeaks peaks = obs::MeasureMachinePeaks(0.04);
+  EXPECT_TRUE(peaks.valid());
+  EXPECT_GT(peaks.gflops_1t, 0.0);
+  EXPECT_GT(peaks.gbps_1t, 0.0);
+  EXPECT_GE(peaks.hardware_threads, 1);
+  EXPECT_FALSE(peaks.cpu_model.empty());
+  EXPECT_FALSE(peaks.created_utc.empty());
+  EXPECT_FALSE(peaks.from_cache);
+}
+
+TEST(CalibrateTest, CachePathHonorsEnvOverride) {
+  CacheDirGuard guard("/some/dir");
+  EXPECT_EQ(obs::PeaksCachePath(), "/some/dir/machine_peaks.json");
+}
+
+TEST(CalibrateTest, SaveLoadRoundTrip) {
+  CacheDirGuard guard(TestCacheDir("round_trip"));
+  const std::string path = obs::PeaksCachePath();
+  std::remove(path.c_str());
+
+  obs::MachinePeaks peaks;
+  peaks.gflops_1t = 12.5;
+  peaks.gbps_1t = 7.25;
+  peaks.hardware_threads = 8;
+  peaks.cpu_model = "Test CPU @ 3.0GHz";
+  peaks.created_utc = "2026-08-08T00:00:00Z";
+  ASSERT_TRUE(obs::SaveMachinePeaks(path, peaks));
+
+  obs::MachinePeaks loaded;
+  ASSERT_TRUE(obs::LoadCachedPeaks(path, &loaded));
+  EXPECT_TRUE(loaded.from_cache);
+  EXPECT_DOUBLE_EQ(loaded.gflops_1t, 12.5);
+  EXPECT_DOUBLE_EQ(loaded.gbps_1t, 7.25);
+  EXPECT_EQ(loaded.hardware_threads, 8);
+  EXPECT_EQ(loaded.cpu_model, "Test CPU @ 3.0GHz");
+  EXPECT_EQ(loaded.created_utc, "2026-08-08T00:00:00Z");
+}
+
+TEST(CalibrateTest, LoadRejectsMissingMalformedAndIncomplete) {
+  CacheDirGuard guard(TestCacheDir("load_rejects"));
+  const std::string path = obs::PeaksCachePath();
+  std::remove(path.c_str());
+  obs::MachinePeaks out;
+  EXPECT_FALSE(obs::LoadCachedPeaks(path, &out));
+
+  obs::MachinePeaks seed;
+  seed.gflops_1t = 1.0;
+  seed.gbps_1t = 1.0;
+  seed.cpu_model = "x";
+  ASSERT_TRUE(obs::SaveMachinePeaks(path, seed));  // creates the directory
+
+  std::ofstream(path, std::ios::trunc) << "not json";
+  EXPECT_FALSE(obs::LoadCachedPeaks(path, &out));
+  std::ofstream(path, std::ios::trunc) << "{\"gflops_1t\":2.0}";
+  EXPECT_FALSE(obs::LoadCachedPeaks(path, &out));
+  // Non-positive peaks are incomplete measurements, not usable cache hits.
+  std::ofstream(path, std::ios::trunc)
+      << "{\"gflops_1t\":0,\"gbps_1t\":1.0,\"cpu_model\":\"x\"}";
+  EXPECT_FALSE(obs::LoadCachedPeaks(path, &out));
+}
+
+TEST(CalibrateTest, CalibrateUsesCacheAndInvalidatesOnCpuMismatch) {
+  CacheDirGuard guard(TestCacheDir("cache_through"));
+  const std::string path = obs::PeaksCachePath();
+  std::remove(path.c_str());
+
+  // Seed the cache with this host's CPU model: the calibrator must take the
+  // cached values instead of burning measurement time.
+  obs::MachinePeaks seeded;
+  seeded.gflops_1t = 123.0;
+  seeded.gbps_1t = 45.0;
+  seeded.hardware_threads = 2;
+  seeded.cpu_model = obs::CpuModelName();
+  seeded.created_utc = "2026-08-08T00:00:00Z";
+  ASSERT_TRUE(obs::SaveMachinePeaks(path, seeded));
+
+  const obs::MachinePeaks cached = obs::CalibrateMachinePeaks(false, 0.02);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_DOUBLE_EQ(cached.gflops_1t, 123.0);
+
+  // A cache measured on a different CPU must be ignored and rewritten.
+  seeded.cpu_model = "Some Other CPU";
+  ASSERT_TRUE(obs::SaveMachinePeaks(path, seeded));
+  const obs::MachinePeaks remeasured = obs::CalibrateMachinePeaks(false, 0.02);
+  EXPECT_FALSE(remeasured.from_cache);
+  EXPECT_TRUE(remeasured.valid());
+  EXPECT_EQ(remeasured.cpu_model, obs::CpuModelName());
+
+  // force_remeasure skips the cache read even when the model matches.
+  const obs::MachinePeaks forced = obs::CalibrateMachinePeaks(true, 0.02);
+  EXPECT_FALSE(forced.from_cache);
+}
+
+}  // namespace
+}  // namespace sthsl

@@ -23,6 +23,7 @@
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor.h"
+#include "util/obs/metrics.h"
 #include "util/obs/obs.h"
 #include "util/rng.h"
 
@@ -281,6 +282,70 @@ TEST(ExecObs, ParallelRegionsAttributeUnderTheirTag) {
 
   obs::ResetProfiler();
   obs::SetTraceEnabled(previous);
+}
+
+TEST(ExecObs, ScopeProfileAccumulatesBusyTimeAndSlices) {
+  ThreadCountGuard guard;
+  exec::SetThreadCount(4);
+  const bool previous = obs::SetTraceEnabled(true);
+  obs::ResetProfiler();
+  volatile int64_t sink = 0;
+  exec::ParallelFor(
+      0, int64_t{1} << 16, 1,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) sink = sink + i;
+      },
+      "exec/busy_region");
+
+  bool found = false;
+  for (const auto& scope : obs::ScopeProfiles()) {
+    if (scope.name != "exec/busy_region") continue;
+    found = true;
+    EXPECT_EQ(scope.slices, 4);  // one timed slice per chunk
+    EXPECT_GT(scope.busy_us, 0.0);
+    // Busy time is summed across participants, so with 4 threads it can
+    // exceed the wall time but never 4x it (plus timer slack).
+    EXPECT_LE(scope.busy_us, scope.total_us * 4.0 + 1000.0);
+  }
+  EXPECT_TRUE(found);
+  obs::ResetProfiler();
+  obs::SetTraceEnabled(previous);
+}
+
+TEST(ExecPoolStats, CountsRegionsChunksAndBusyTime) {
+  ThreadCountGuard guard;
+  exec::SetThreadCount(4);
+  const exec::PoolStats before = exec::GetPoolStats();
+  std::vector<int> hits(int64_t{1} << 16, 0);
+  exec::ParallelFor(0, int64_t{1} << 16, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  const exec::PoolStats after = exec::GetPoolStats();
+  EXPECT_EQ(after.thread_count, 4);
+  EXPECT_EQ(after.regions_launched, before.regions_launched + 1);
+  EXPECT_EQ(after.chunks_executed, before.chunks_executed + 4);
+  EXPECT_GT(after.total_busy_us(), before.total_busy_us());
+  EXPECT_GE(after.workers_started, 3);  // caller takes one of the 4 lanes
+  EXPECT_GE(after.max_queue_depth, 1);
+  EXPECT_EQ(after.worker_busy_us.size(), after.worker_idle_us.size());
+  EXPECT_EQ(static_cast<int>(after.worker_busy_us.size()),
+            after.workers_started);
+  for (double idle : after.worker_idle_us) EXPECT_GE(idle, 0.0);
+}
+
+TEST(ExecPoolStats, PublishFeedsMetricsGauges) {
+  ThreadCountGuard guard;
+  exec::SetThreadCount(2);
+  exec::ParallelFor(0, int64_t{1} << 15, 1, [](int64_t, int64_t) {});
+  exec::PublishPoolStats();
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetGauge("exec/threads").Value(), 2.0);
+  EXPECT_GE(registry.GetGauge("exec/regions_launched").Value(), 1.0);
+  EXPECT_GE(registry.GetGauge("exec/chunks_executed").Value(), 2.0);
+  EXPECT_GT(registry.GetGauge("exec/busy_us").Value(), 0.0);
+  const double util = registry.GetGauge("exec/worker_utilization").Value();
+  EXPECT_GE(util, 0.0);
+  EXPECT_LE(util, 1.0);
 }
 
 // -- Bitwise determinism across thread counts ---------------------------------

@@ -1,0 +1,141 @@
+// Tests for the roofline join (util/obs/roofline): the per-entry math against
+// hand-computed expectations, degenerate-input guards, the profiler join that
+// splits forward and backward samples, and the BENCH_roofline.json rendering.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/obs/calibrate.h"
+#include "util/obs/obs.h"
+#include "util/obs/roofline.h"
+
+namespace sthsl {
+namespace {
+
+obs::MachinePeaks TestPeaks() {
+  obs::MachinePeaks peaks;
+  peaks.gflops_1t = 10.0;  // compute roof at 4 threads: 40 GFLOP/s
+  peaks.gbps_1t = 5.0;     // ridge point at 4 threads: 8 flop/byte
+  peaks.hardware_threads = 4;
+  peaks.cpu_model = "Test CPU";
+  peaks.created_utc = "2026-08-08T00:00:00Z";
+  return peaks;
+}
+
+TEST(RooflineTest, ComputeRoofScalesWithThreads) {
+  const obs::MachinePeaks peaks = TestPeaks();
+  EXPECT_DOUBLE_EQ(obs::ComputeRoofGflops(peaks, 4), 40.0);
+  EXPECT_DOUBLE_EQ(obs::ComputeRoofGflops(peaks, 1), 10.0);
+  // Non-positive thread counts clamp to one, never zero the roof.
+  EXPECT_DOUBLE_EQ(obs::ComputeRoofGflops(peaks, 0), 10.0);
+}
+
+TEST(RooflineTest, ComputeBoundEntryHandComputed) {
+  const obs::MachinePeaks peaks = TestPeaks();
+  // 1e9 flops over 1e8 bytes in 0.1 s: intensity 10 >= ridge 8.
+  const obs::RooflineEntry e = obs::MakeRooflineEntry(
+      "gemm", 3, 1000000000, 100000000, 100000.0, peaks, 4);
+  EXPECT_EQ(e.name, "gemm");
+  EXPECT_EQ(e.calls, 3);
+  EXPECT_DOUBLE_EQ(e.intensity, 10.0);
+  EXPECT_DOUBLE_EQ(e.achieved_gflops, 10.0);
+  EXPECT_DOUBLE_EQ(e.achieved_gbps, 1.0);
+  EXPECT_TRUE(e.compute_bound);
+  // Compute roof (40) is below intensity * memory roof (50).
+  EXPECT_DOUBLE_EQ(e.roof_gflops, 40.0);
+  EXPECT_DOUBLE_EQ(e.pct_of_roof, 25.0);
+}
+
+TEST(RooflineTest, MemoryBoundEntryHandComputed) {
+  const obs::MachinePeaks peaks = TestPeaks();
+  // Intensity 0.5 < ridge 8: bandwidth-limited, roof = 0.5 * 5 GB/s.
+  const obs::RooflineEntry e = obs::MakeRooflineEntry(
+      "stream", 1, 1000000, 2000000, 1000.0, peaks, 4);
+  EXPECT_DOUBLE_EQ(e.intensity, 0.5);
+  // 1e6 flops in 1000 us = 1 GFLOP/s; 2e6 bytes in 1000 us = 2 GB/s.
+  EXPECT_DOUBLE_EQ(e.achieved_gflops, 1.0);
+  EXPECT_DOUBLE_EQ(e.achieved_gbps, 2.0);
+  EXPECT_FALSE(e.compute_bound);
+  EXPECT_DOUBLE_EQ(e.roof_gflops, 2.5);
+  EXPECT_DOUBLE_EQ(e.pct_of_roof, 40.0);
+}
+
+TEST(RooflineTest, DegenerateInputsLeaveDerivedFieldsZero) {
+  const obs::MachinePeaks peaks = TestPeaks();
+  const obs::RooflineEntry no_flops =
+      obs::MakeRooflineEntry("a", 1, 0, 100, 10.0, peaks, 4);
+  EXPECT_DOUBLE_EQ(no_flops.pct_of_roof, 0.0);
+  EXPECT_DOUBLE_EQ(no_flops.roof_gflops, 0.0);
+  const obs::RooflineEntry no_bytes =
+      obs::MakeRooflineEntry("b", 1, 100, 0, 10.0, peaks, 4);
+  EXPECT_DOUBLE_EQ(no_bytes.intensity, 0.0);
+  const obs::RooflineEntry no_time =
+      obs::MakeRooflineEntry("c", 1, 100, 100, 0.0, peaks, 4);
+  EXPECT_DOUBLE_EQ(no_time.achieved_gflops, 0.0);
+  obs::MachinePeaks invalid;  // never calibrated
+  const obs::RooflineEntry no_peaks =
+      obs::MakeRooflineEntry("d", 1, 100, 100, 10.0, invalid, 4);
+  EXPECT_DOUBLE_EQ(no_peaks.pct_of_roof, 0.0);
+}
+
+TEST(RooflineTest, BuildSplitsForwardAndBackwardAndSkipsUnmodeled) {
+  const obs::MachinePeaks peaks = TestPeaks();
+  obs::OpProfile matmul;
+  matmul.name = "matmul";
+  matmul.forward_calls = 2;
+  matmul.forward_us = 100.0;
+  matmul.forward_flops = 1000;
+  matmul.bytes_touched = 400;
+  matmul.backward_calls = 2;
+  matmul.backward_us = 200.0;
+  matmul.backward_flops = 2000;
+  matmul.backward_bytes = 800;
+  obs::OpProfile reshape;  // movement op: no flop model, must be skipped
+  reshape.name = "reshape";
+  reshape.forward_calls = 5;
+  reshape.forward_us = 10.0;
+
+  const std::vector<obs::RooflineEntry> entries =
+      obs::BuildRoofline({matmul, reshape}, peaks, 4);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "matmul");
+  EXPECT_EQ(entries[0].flops, 1000);
+  EXPECT_EQ(entries[0].bytes, 400);
+  EXPECT_EQ(entries[1].name, "matmul.bwd");
+  EXPECT_EQ(entries[1].calls, 2);
+  EXPECT_EQ(entries[1].flops, 2000);
+  EXPECT_EQ(entries[1].bytes, 800);
+}
+
+TEST(RooflineTest, JsonCarriesPeaksOpsAndCounterFallback) {
+  const obs::MachinePeaks peaks = TestPeaks();
+  obs::RooflineEntry with_counters = obs::MakeRooflineEntry(
+      "gemm", 3, 1000000000, 100000000, 100000.0, peaks, 4);
+  with_counters.counters.valid = true;
+  with_counters.counters.cycles = 42;
+  with_counters.counters.instructions = 84;
+  with_counters.counters.l1d_misses = -1;  // failed sibling stays -1
+  obs::RooflineEntry without_counters = obs::MakeRooflineEntry(
+      "stream", 1, 1000000, 2000000, 1000.0, peaks, 4);
+
+  const std::string json =
+      obs::RooflineJson({with_counters, without_counters}, peaks, 4);
+  EXPECT_NE(json.find("\"bench\":\"roofline\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_model\":\"Test CPU\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute_roof_gflops\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"memory_roof_gbps\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"bound\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"bound\":\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{\"cycles\":42,\"instructions\":84,"
+                      "\"l1d_misses\":-1"),
+            std::string::npos);
+  // Entries without a counter-isolated run serialize an explicit null.
+  EXPECT_NE(json.find("\"counters\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sthsl

@@ -669,6 +669,16 @@ TEST(ServeLoopbackTest, EndToEndMatchesDirectPredictBitwise) {
   EXPECT_EQ(status, 200);
   EXPECT_NE(metrics.find("\"cache\""), std::string::npos);
   EXPECT_NE(metrics.find("\"batcher\""), std::string::npos);
+  // Scrapes refresh and embed the execution-pool telemetry.
+  EXPECT_NE(metrics.find("\"exec\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"exec/threads\""), std::string::npos);
+  std::string statusz = HttpRoundTrip(server.port(),
+                                      "GET /statusz HTTP/1.1\r\nHost: t\r\n"
+                                      "Connection: close\r\n\r\n",
+                                      &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(statusz.find("\"exec\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"chunks_executed\""), std::string::npos);
 
   server.Drain();
   engine.Shutdown();

@@ -31,6 +31,7 @@
 #include "exec/exec.h"
 #include "nn/serialization.h"
 #include "serve/bundle.h"
+#include "util/obs/calibrate.h"
 #include "util/obs/obs.h"
 
 using namespace sthsl;
@@ -71,6 +72,11 @@ int Usage() {
       "           ending at day T (default: end of file) through the\n"
       "           bundled model, print per-region/category forecasts\n"
       "  stats    --data FILE\n"
+      "  calibrate [--force 1] [--budget-ms N]\n"
+      "           measure this machine's single-thread FMA GFLOP/s and\n"
+      "           stream-triad GB/s for the roofline reporter; results are\n"
+      "           cached per CPU model (~/.cache/sthsl/machine_peaks.json,\n"
+      "           STHSL_CACHE_DIR overrides) — --force 1 remeasures\n"
       "execution (any command):\n"
       "  --threads N         kernel thread count (default: STHSL_THREADS or\n"
       "                      all hardware threads; results are bitwise\n"
@@ -407,6 +413,26 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+int CmdCalibrate(const Args& args) {
+  const bool force = args.GetInt("force", 0) != 0;
+  const double budget =
+      static_cast<double>(args.GetInt("budget-ms", 1000)) / 1e3;
+  const obs::MachinePeaks peaks = obs::CalibrateMachinePeaks(force, budget);
+  if (!peaks.valid()) {
+    std::fprintf(stderr, "machine-peak calibration failed\n");
+    return 1;
+  }
+  std::printf("cpu:       %s\n", peaks.cpu_model.c_str());
+  std::printf("threads:   %d hardware, %d configured\n",
+              peaks.hardware_threads, exec::ThreadCount());
+  std::printf("fma peak:  %.2f GFLOP/s (single thread)\n", peaks.gflops_1t);
+  std::printf("triad bw:  %.2f GB/s (single thread)\n", peaks.gbps_1t);
+  std::printf("measured:  %s%s\n", peaks.created_utc.c_str(),
+              peaks.from_cache ? " [from cache]" : "");
+  std::printf("cache:     %s\n", obs::PeaksCachePath().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,5 +464,6 @@ int main(int argc, char** argv) {
   if (args.command == "export-bundle") return CmdExportBundle(args);
   if (args.command == "predict") return CmdPredict(args);
   if (args.command == "stats") return CmdStats(args);
+  if (args.command == "calibrate") return CmdCalibrate(args);
   return Usage();
 }

@@ -9,6 +9,11 @@
 //   sthsl_report --emit-baseline base.json runs/*.jsonl
 //   sthsl_report --gate base.json --tolerance 10 --time-tolerance 100 \
 //                runs/*.jsonl                       # exit 1 on regression
+//   sthsl_report --bench BENCH_parallel.json          # thread-scaling table
+//   sthsl_report --roofline BENCH_roofline.json       # roofline markdown
+//   sthsl_report --roofline BENCH_roofline.json \
+//                --gate-roofline bench/roofline_baseline.json \
+//                --roofline-tolerance 75             # per-op GFLOP/s floors
 //   sthsl_report --selftest
 //
 // A run is one header→final span in a ledger (see src/util/obs/run_ledger.h
@@ -88,6 +93,51 @@ struct ServeBench {
   double trace_mismatches = kNan;
   double cache_hits = kNan;
   std::vector<Row> rows;
+};
+
+/// One op row of a BENCH_roofline.json dump (see src/util/obs/roofline.h for
+/// the writer), counters optional.
+struct RooflineOp {
+  std::string name;
+  double calls = kNan;
+  double flops = kNan;
+  double bytes = kNan;
+  double us = kNan;
+  double intensity = kNan;
+  double achieved_gflops = kNan;
+  double achieved_gbps = kNan;
+  double roof_gflops = kNan;
+  double pct_of_roof = kNan;
+  std::string bound;
+  bool has_counters = false;
+  double cycles = kNan;
+  double instructions = kNan;
+  double l1d_misses = kNan;
+  double llc_misses = kNan;
+  double branch_misses = kNan;
+};
+
+struct RooflineDoc {
+  std::string source;
+  std::string cpu_model;
+  double gflops_1t = kNan;
+  double gbps_1t = kNan;
+  double threads = kNan;
+  double compute_roof_gflops = kNan;
+  double memory_roof_gbps = kNan;
+  std::vector<RooflineOp> ops;
+};
+
+/// One kernel of a BENCH_parallel.json thread-scaling dump.
+struct ParallelKernel {
+  struct Point {
+    double threads = kNan;
+    double us = kNan;
+    double speedup = kNan;
+  };
+  std::string name;
+  double serial_us = kNan;
+  std::vector<Point> points;
 };
 
 double NumberOr(const JsonValue& record, const char* field, double fallback) {
@@ -221,19 +271,51 @@ bool ParseServeBench(const JsonValue& root, const std::string& source,
   return true;
 }
 
+bool ParseParallelBench(const JsonValue& root, const std::string& source,
+                        std::vector<ParallelKernel>* out) {
+  const JsonValue* kernels = root.FindOfKind("kernels", kArr);
+  if (kernels == nullptr) {
+    return Complain(source + ": missing \"kernels\" array");
+  }
+  for (const JsonValue& kernel : kernels->items) {
+    if (!kernel.Is(kObj)) continue;
+    ParallelKernel row;
+    row.name = StringOr(kernel, "name", "?");
+    row.serial_us = NumberOr(kernel, "serial_us", kNan);
+    const JsonValue* threads = kernel.FindOfKind("threads", kArr);
+    if (threads != nullptr) {
+      for (const JsonValue& point : threads->items) {
+        if (!point.Is(kObj)) continue;
+        ParallelKernel::Point p;
+        p.threads = NumberOr(point, "threads", kNan);
+        p.us = NumberOr(point, "us", kNan);
+        p.speedup = NumberOr(point, "speedup", kNan);
+        row.points.push_back(p);
+      }
+    }
+    out->push_back(row);
+  }
+  return true;
+}
+
 bool ParseBenchText(const std::string& text, const std::string& source,
                     std::vector<BenchModel>* out,
-                    std::vector<ServeBench>* serve_out) {
+                    std::vector<ServeBench>* serve_out,
+                    std::vector<ParallelKernel>* parallel_out) {
   JsonValue root;
   std::string error;
   if (!JsonParser(text).Parse(&root, &error)) {
     return Complain(source + ": " + error);
   }
-  // sthsl_loadgen dumps identify themselves; anything else must be the
-  // table5 efficiency format with a "models" array.
+  // sthsl_loadgen dumps identify themselves; a top-level "kernels" array is
+  // the bench_kernels thread-scaling dump; anything else must be the table5
+  // efficiency format with a "models" array.
   if (root.Is(kObj) &&
       StringOr(root, "benchmark", "") == "sthsl_serve") {
     return ParseServeBench(root, source, serve_out);
+  }
+  if (root.Is(kObj) && root.FindOfKind("kernels", kArr) != nullptr) {
+    return ParseParallelBench(root, source, parallel_out);
   }
   const JsonValue* models =
       root.Is(kObj) ? root.FindOfKind("models", kArr) : nullptr;
@@ -247,6 +329,60 @@ bool ParseBenchText(const std::string& text, const std::string& source,
     row.nyc_epoch_seconds = NumberOr(model, "nyc_epoch_seconds", kNan);
     row.chi_epoch_seconds = NumberOr(model, "chi_epoch_seconds", kNan);
     out->push_back(row);
+  }
+  return true;
+}
+
+// -- Roofline (BENCH_roofline.json) -------------------------------------------
+
+bool ParseRooflineText(const std::string& text, const std::string& source,
+                       RooflineDoc* out) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    return Complain(source + ": " + error);
+  }
+  if (!root.Is(kObj) || StringOr(root, "bench", "") != "roofline") {
+    return Complain(source + ": not a BENCH_roofline.json document "
+                             "(\"bench\":\"roofline\")");
+  }
+  out->source = source;
+  const JsonValue* peaks = root.FindOfKind("peaks", kObj);
+  if (peaks == nullptr) {
+    return Complain(source + ": missing \"peaks\" object");
+  }
+  out->cpu_model = StringOr(*peaks, "cpu_model", "?");
+  out->gflops_1t = NumberOr(*peaks, "gflops_1t", kNan);
+  out->gbps_1t = NumberOr(*peaks, "gbps_1t", kNan);
+  out->threads = NumberOr(*peaks, "threads", kNan);
+  out->compute_roof_gflops = NumberOr(*peaks, "compute_roof_gflops", kNan);
+  out->memory_roof_gbps = NumberOr(*peaks, "memory_roof_gbps", kNan);
+  const JsonValue* ops = root.FindOfKind("ops", kArr);
+  if (ops == nullptr) return Complain(source + ": missing \"ops\" array");
+  for (const JsonValue& op : ops->items) {
+    if (!op.Is(kObj)) continue;
+    RooflineOp row;
+    row.name = StringOr(op, "name", "?");
+    row.calls = NumberOr(op, "calls", kNan);
+    row.flops = NumberOr(op, "flops", kNan);
+    row.bytes = NumberOr(op, "bytes", kNan);
+    row.us = NumberOr(op, "us", kNan);
+    row.intensity = NumberOr(op, "intensity", kNan);
+    row.achieved_gflops = NumberOr(op, "achieved_gflops", kNan);
+    row.achieved_gbps = NumberOr(op, "achieved_gbps", kNan);
+    row.roof_gflops = NumberOr(op, "roof_gflops", kNan);
+    row.pct_of_roof = NumberOr(op, "pct_of_roof", kNan);
+    row.bound = StringOr(op, "bound", "?");
+    const JsonValue* counters = op.FindOfKind("counters", kObj);
+    if (counters != nullptr) {
+      row.has_counters = true;
+      row.cycles = NumberOr(*counters, "cycles", kNan);
+      row.instructions = NumberOr(*counters, "instructions", kNan);
+      row.l1d_misses = NumberOr(*counters, "l1d_misses", kNan);
+      row.llc_misses = NumberOr(*counters, "llc_misses", kNan);
+      row.branch_misses = NumberOr(*counters, "branch_misses", kNan);
+    }
+    out->ops.push_back(row);
   }
   return true;
 }
@@ -315,6 +451,43 @@ void PrintServeBench(const std::vector<ServeBench>& benches) {
                   Cell(row.p50).c_str(), Cell(row.p95).c_str(),
                   Cell(row.p99).c_str());
     }
+  }
+}
+
+void PrintParallelBench(const std::vector<ParallelKernel>& kernels) {
+  if (kernels.empty()) return;
+  std::printf("\nexec thread scaling (best-of-N wall time)\n");
+  std::printf("| kernel | threads | µs | speedup |\n|---|---|---|---|\n");
+  for (const ParallelKernel& kernel : kernels) {
+    for (const ParallelKernel::Point& point : kernel.points) {
+      std::printf("| %s | %s | %s | %s |\n", kernel.name.c_str(),
+                  Cell(point.threads).c_str(), Cell(point.us).c_str(),
+                  Cell(point.speedup).c_str());
+    }
+  }
+}
+
+void PrintRoofline(const RooflineDoc& doc) {
+  std::printf("\nroofline %s: cpu %s | %s GFLOP/s x %s threads = %s "
+              "compute roof | %s GB/s memory roof\n",
+              doc.source.c_str(), doc.cpu_model.c_str(),
+              Cell(doc.gflops_1t).c_str(), Cell(doc.threads).c_str(),
+              Cell(doc.compute_roof_gflops).c_str(),
+              Cell(doc.memory_roof_gbps).c_str());
+  std::printf("| op | calls | GFLOP | int | GFLOP/s | GB/s | %%roof | bound "
+              "| IPC | LLC miss |\n|---|---|---|---|---|---|---|---|---|---|"
+              "\n");
+  for (const RooflineOp& op : doc.ops) {
+    const double ipc = op.has_counters && op.cycles > 0.0
+                           ? op.instructions / op.cycles
+                           : kNan;
+    std::printf("| %s | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+                op.name.c_str(), Cell(op.calls).c_str(),
+                Cell(op.flops / 1e9).c_str(), Cell(op.intensity).c_str(),
+                Cell(op.achieved_gflops).c_str(),
+                Cell(op.achieved_gbps).c_str(), Cell(op.pct_of_roof).c_str(),
+                op.bound.c_str(), Cell(ipc).c_str(),
+                Cell(op.llc_misses).c_str());
   }
 }
 
@@ -420,6 +593,77 @@ int RunGate(const std::string& baseline_text, const std::string& source,
   return failures;
 }
 
+/// Roofline baselines key on op name and store the achieved GFLOP/s of the
+/// emitting run; the gate applies its tolerance as a floor, so machine drift
+/// between the committing host and CI is absorbed by --roofline-tolerance.
+std::string RenderRooflineBaseline(const RooflineDoc& doc) {
+  std::string json = "{\"baseline\":\"sthsl_report_roofline\",\"schema\":1,"
+                     "\"cpu_model\":" +
+                     sthsl::json::JsonQuote(doc.cpu_model) + ",\"ops\":[";
+  bool first = true;
+  for (const RooflineOp& op : doc.ops) {
+    if (!std::isfinite(op.achieved_gflops)) continue;
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":" + sthsl::json::JsonQuote(op.name) +
+            ",\"gflops\":" + JsonNumberOrNull(op.achieved_gflops) + "}";
+  }
+  json += "]}";
+  return json;
+}
+
+/// Per-op achieved-GFLOP/s floor gate: every baseline op must be present in
+/// the current roofline report at >= baseline * (1 - tolerance/100). Returns
+/// the number of failures (0 = pass).
+int RunRooflineGate(const std::string& baseline_text, const std::string& source,
+                    const RooflineDoc& doc, double tolerance_pct) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(baseline_text).Parse(&root, &error)) {
+    Complain(source + ": " + error);
+    return 1;
+  }
+  const JsonValue* ops = root.Is(kObj) ? root.FindOfKind("ops", kArr) : nullptr;
+  if (ops == nullptr) {
+    Complain(source + ": missing \"ops\" array");
+    return 1;
+  }
+  int failures = 0;
+  for (const JsonValue& entry : ops->items) {
+    if (!entry.Is(kObj)) continue;
+    const std::string name = StringOr(entry, "name", "?");
+    const double base_gflops = NumberOr(entry, "gflops", kNan);
+    if (!std::isfinite(base_gflops)) continue;
+    const RooflineOp* match = nullptr;
+    for (const RooflineOp& op : doc.ops) {
+      if (op.name == name) match = &op;
+    }
+    if (match == nullptr) {
+      std::printf("ROOFLINE GATE FAIL %s: op missing from current report\n",
+                  name.c_str());
+      ++failures;
+      continue;
+    }
+    const double floor = base_gflops * (1.0 - tolerance_pct / 100.0);
+    if (!std::isfinite(match->achieved_gflops) ||
+        match->achieved_gflops < floor) {
+      std::printf("ROOFLINE GATE FAIL %s: %.6g GFLOP/s < %.6g (baseline "
+                  "%.6g -%.3g%%)\n",
+                  name.c_str(), match->achieved_gflops, floor, base_gflops,
+                  tolerance_pct);
+      ++failures;
+    } else {
+      std::printf("ROOFLINE GATE ok   %s: %.6g GFLOP/s >= %.6g\n",
+                  name.c_str(), match->achieved_gflops, floor);
+    }
+  }
+  if (failures == 0) {
+    std::printf("roofline gate OK: %zu op floor%s held\n", ops->items.size(),
+                ops->items.size() == 1 ? "" : "s");
+  }
+  return failures;
+}
+
 // -- Self-test ----------------------------------------------------------------
 
 constexpr const char kSelfTestLedger[] =
@@ -491,18 +735,81 @@ int SelfTest() {
   // Bench JSON parsing (table5 format).
   std::vector<BenchModel> bench;
   std::vector<ServeBench> serve_bench;
+  std::vector<ParallelKernel> parallel;
   expect(ParseBenchText("{\"bench\":\"table5_efficiency\",\"models\":["
                         "{\"name\":\"STGCN\",\"nyc_epoch_seconds\":0.5,"
                         "\"chi_epoch_seconds\":0.4,\"ops\":[]}]}",
-                        "<selftest>", &bench, &serve_bench),
+                        "<selftest>", &bench, &serve_bench, &parallel),
          "bench json parses");
   expect(bench.size() == 1 && bench[0].name == "STGCN" &&
              std::fabs(bench[0].nyc_epoch_seconds - 0.5) < 1e-12,
          "bench model extracted");
   std::vector<BenchModel> bad_bench;
   expect(!ParseBenchText("{\"bench\":\"x\"}", "<selftest>", &bad_bench,
-                         &serve_bench),
+                         &serve_bench, &parallel),
          "bench json without models rejected");
+
+  // Thread-scaling bench parsing (bench_kernels BENCH_parallel format).
+  expect(ParseBenchText(
+             "{\"hardware_threads\": 8,\"kernels\": [{\"name\": "
+             "\"gemm_nn_256\", \"serial_us\": 1000.0, \"threads\": ["
+             "{\"threads\": 1, \"us\": 1000.0, \"speedup\": 1.0},"
+             "{\"threads\": 4, \"us\": 300.0, \"speedup\": 3.333}]}]}",
+             "<selftest>", &bench, &serve_bench, &parallel),
+         "parallel bench json parses");
+  expect(parallel.size() == 1 && parallel[0].name == "gemm_nn_256" &&
+             parallel[0].points.size() == 2 &&
+             std::fabs(parallel[0].points[1].speedup - 3.333) < 1e-9,
+         "parallel kernel rows extracted");
+
+  // Roofline parsing, baseline round-trip and gate.
+  const char kRooflineSample[] =
+      "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"TestCPU\","
+      "\"gflops_1t\":10,\"gbps_1t\":5,\"threads\":4,"
+      "\"compute_roof_gflops\":40,\"memory_roof_gbps\":5,"
+      "\"calibrated_utc\":\"2026-01-01T00:00:00Z\",\"from_cache\":false},"
+      "\"ops\":[{\"name\":\"matmul\",\"calls\":3,\"flops\":200000000,"
+      "\"bytes\":4000000,\"us\":50000,\"intensity\":50,"
+      "\"achieved_gflops\":4,\"achieved_gbps\":0.08,\"roof_gflops\":40,"
+      "\"pct_of_roof\":10,\"bound\":\"compute\",\"counters\":{\"cycles\":"
+      "1000,\"instructions\":2000,\"l1d_misses\":10,\"llc_misses\":5,"
+      "\"branch_misses\":1}},{\"name\":\"softmax\",\"calls\":3,"
+      "\"flops\":327680,\"bytes\":524288,\"us\":100,\"intensity\":0.625,"
+      "\"achieved_gflops\":3.2768,\"achieved_gbps\":5.24288,"
+      "\"roof_gflops\":3.125,\"pct_of_roof\":104.9,\"bound\":\"memory\","
+      "\"counters\":null}]}";
+  RooflineDoc roofline;
+  expect(ParseRooflineText(kRooflineSample, "<selftest>", &roofline),
+         "roofline json parses");
+  expect(roofline.ops.size() == 2 && roofline.cpu_model == "TestCPU" &&
+             std::fabs(roofline.compute_roof_gflops - 40.0) < 1e-12,
+         "roofline peaks extracted");
+  expect(roofline.ops.size() == 2 && roofline.ops[0].has_counters &&
+             std::fabs(roofline.ops[0].cycles - 1000.0) < 1e-12 &&
+             !roofline.ops[1].has_counters,
+         "roofline counters extracted, null counters skipped");
+  RooflineDoc bad_roofline;
+  expect(!ParseRooflineText("{\"bench\":\"roofline\"}", "<selftest>",
+                            &bad_roofline),
+         "roofline without peaks rejected");
+
+  const std::string roofline_baseline = RenderRooflineBaseline(roofline);
+  expect(RunRooflineGate(roofline_baseline, "<selftest>", roofline, 10.0) ==
+             0,
+         "roofline gate passes against own baseline");
+  RooflineDoc slower_roofline = roofline;
+  slower_roofline.ops[0].achieved_gflops *= 0.5;
+  expect(RunRooflineGate(roofline_baseline, "<selftest>", slower_roofline,
+                         10.0) > 0,
+         "roofline gate fails on 2x GFLOP/s regression at 10% tolerance");
+  expect(RunRooflineGate(roofline_baseline, "<selftest>", slower_roofline,
+                         60.0) == 0,
+         "roofline gate passes 2x regression at 60% tolerance");
+  RooflineDoc missing_roofline = roofline;
+  missing_roofline.ops.erase(missing_roofline.ops.begin());
+  expect(RunRooflineGate(roofline_baseline, "<selftest>", missing_roofline,
+                         10.0) > 0,
+         "roofline gate fails when a baseline op disappears");
 
   // Serve bench parsing (sthsl_loadgen format): client latency plus the
   // server-side histograms scraped from /metrics, p99 included.
@@ -515,7 +822,7 @@ int SelfTest() {
              "\"mean\":60,\"p50\":50,\"p95\":150,\"p99\":350},"
              "\"serve/stage/inference_us\":{\"count\":50,\"mean\":40,"
              "\"p50\":35,\"p95\":90,\"p99\":120}}}",
-             "<selftest>", &bench, &serve_bench),
+             "<selftest>", &bench, &serve_bench, &parallel),
          "serve bench json parses");
   expect(serve_bench.size() == 1, "one serve bench extracted");
   if (serve_bench.size() == 1) {
@@ -536,7 +843,7 @@ int SelfTest() {
   }
   std::vector<ServeBench> bad_serve;
   expect(!ParseBenchText("{\"benchmark\":\"sthsl_serve\",\"qps\":1}",
-                         "<selftest>", &bench, &bad_serve),
+                         "<selftest>", &bench, &bad_serve, &parallel),
          "serve bench without latency_us rejected");
 
   if (failures == 0) {
@@ -562,6 +869,17 @@ int Usage() {
                "(default 10)\n"
                "  --time-tolerance P     allowed epoch-seconds regression %% "
                "(default 50)\n"
+               "  --roofline FILE        render a BENCH_roofline.json report "
+               "as markdown\n"
+               "  --emit-roofline-baseline FILE\n"
+               "                         write per-op achieved-GFLOP/s "
+               "baseline from --roofline\n"
+               "  --gate-roofline FILE   enforce per-op GFLOP/s floors from "
+               "a baseline\n"
+               "                         against --roofline; exit 1 on "
+               "regression\n"
+               "  --roofline-tolerance P allowed GFLOP/s drop %% below "
+               "baseline (default 50)\n"
                "  --selftest             run embedded checks\n");
   return 2;
 }
@@ -572,10 +890,14 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::vector<std::string> ledger_paths;
   std::vector<std::string> bench_paths;
+  std::vector<std::string> roofline_paths;
   std::string emit_baseline;
   std::string gate_path;
+  std::string emit_roofline_baseline;
+  std::string gate_roofline_path;
   double tolerance = 10.0;
   double time_tolerance = 50.0;
+  double roofline_tolerance = 50.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -605,6 +927,22 @@ int main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return Usage();
       time_tolerance = std::atof(value);
+    } else if (arg == "--roofline") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      roofline_paths.push_back(value);
+    } else if (arg == "--emit-roofline-baseline") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      emit_roofline_baseline = value;
+    } else if (arg == "--gate-roofline") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      gate_roofline_path = value;
+    } else if (arg == "--roofline-tolerance") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      roofline_tolerance = std::atof(value);
     } else if (arg.rfind("--", 0) == 0) {
       Complain("unknown option '" + arg + "'");
       return Usage();
@@ -612,7 +950,9 @@ int main(int argc, char** argv) {
       ledger_paths.push_back(arg);
     }
   }
-  if (ledger_paths.empty() && bench_paths.empty()) return Usage();
+  if (ledger_paths.empty() && bench_paths.empty() && roofline_paths.empty()) {
+    return Usage();
+  }
 
   std::vector<RunSummary> runs;
   for (const std::string& path : ledger_paths) {
@@ -622,10 +962,21 @@ int main(int argc, char** argv) {
   }
   std::vector<BenchModel> bench;
   std::vector<ServeBench> serve_bench;
+  std::vector<ParallelKernel> parallel;
   for (const std::string& path : bench_paths) {
     std::string text;
     if (!LoadFile(path, &text)) return 1;
-    if (!ParseBenchText(text, path, &bench, &serve_bench)) return 1;
+    if (!ParseBenchText(text, path, &bench, &serve_bench, &parallel)) {
+      return 1;
+    }
+  }
+  std::vector<RooflineDoc> rooflines;
+  for (const std::string& path : roofline_paths) {
+    std::string text;
+    RooflineDoc doc;
+    if (!LoadFile(path, &text)) return 1;
+    if (!ParseRooflineText(text, path, &doc)) return 1;
+    rooflines.push_back(std::move(doc));
   }
 
   if (csv) {
@@ -634,6 +985,28 @@ int main(int argc, char** argv) {
     PrintMarkdown(runs);
     PrintBench(bench);
     PrintServeBench(serve_bench);
+    PrintParallelBench(parallel);
+    for (const RooflineDoc& doc : rooflines) PrintRoofline(doc);
+  }
+
+  if (!emit_roofline_baseline.empty()) {
+    if (rooflines.empty()) {
+      Complain("--emit-roofline-baseline requires --roofline FILE");
+      return 1;
+    }
+    std::FILE* file = std::fopen(emit_roofline_baseline.c_str(), "w");
+    if (file == nullptr) {
+      Complain("cannot open " + emit_roofline_baseline + " for writing");
+      return 1;
+    }
+    const std::string json = RenderRooflineBaseline(rooflines.front());
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::fprintf(stderr, "sthsl_report: wrote roofline baseline %s (%zu "
+                 "op%s)\n",
+                 emit_roofline_baseline.c_str(), rooflines.front().ops.size(),
+                 rooflines.front().ops.size() == 1 ? "" : "s");
   }
 
   if (!emit_baseline.empty()) {
@@ -651,11 +1024,21 @@ int main(int argc, char** argv) {
                  runs.size() == 1 ? "y" : "ies");
   }
 
+  int gate_failures = 0;
   if (!gate_path.empty()) {
     std::string text;
     if (!LoadFile(gate_path, &text)) return 1;
-    return RunGate(text, gate_path, runs, tolerance, time_tolerance) == 0 ? 0
-                                                                          : 1;
+    gate_failures += RunGate(text, gate_path, runs, tolerance, time_tolerance);
   }
-  return 0;
+  if (!gate_roofline_path.empty()) {
+    if (rooflines.empty()) {
+      Complain("--gate-roofline requires --roofline FILE");
+      return 1;
+    }
+    std::string text;
+    if (!LoadFile(gate_roofline_path, &text)) return 1;
+    gate_failures += RunRooflineGate(text, gate_roofline_path,
+                                     rooflines.front(), roofline_tolerance);
+  }
+  return gate_failures == 0 ? 0 : 1;
 }

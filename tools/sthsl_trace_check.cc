@@ -5,6 +5,7 @@
 //   sthsl_trace_check metrics metrics.json      # metrics/op-profile dump
 //   sthsl_trace_check run-log run.jsonl         # experiment run ledger
 //   sthsl_trace_check access-log access.jsonl   # serving access log
+//   sthsl_trace_check roofline BENCH_roofline.json  # roofline bench dump
 //   sthsl_trace_check --selftest                # embedded good/bad samples
 //
 // Exits 0 when the file parses as JSON and has the expected structure,
@@ -12,6 +13,7 @@
 // JSON): the tiny recursive-descent parser in json_mini.h is enough to
 // assert structure.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -121,6 +123,103 @@ bool ValidateMetrics(const JsonValue& root) {
               ops == nullptr ? 0 : ops->items.size(),
               root.Find("counters")->members.size(),
               root.Find("histograms")->members.size());
+  return true;
+}
+
+// -- Roofline bench validation ------------------------------------------------
+
+bool NonNegativeNumber(const JsonValue& record, const char* field) {
+  const JsonValue* value = record.FindOfKind(field, kNum);
+  return value != nullptr && value->number >= 0.0;
+}
+
+/// BENCH_roofline.json (src/util/obs/roofline.h writer): a "peaks" object
+/// with positive roofs, and a non-empty "ops" array whose entries carry
+/// consistent coordinates — intensity must equal flops/bytes (1% relative
+/// tolerance), pct_of_roof must land in [0, 120] (a small overshoot absorbs
+/// peaks-calibration noise), "bound" must be compute or memory, and counters
+/// must be null or an object of non-negative numbers.
+bool ValidateRoofline(const JsonValue& root) {
+  if (!root.Is(kObj)) {
+    return Complain("roofline root is not an object");
+  }
+  const JsonValue* bench = root.FindOfKind("bench", kStr);
+  if (bench == nullptr || bench->text != "roofline") {
+    return Complain("missing \"bench\":\"roofline\" marker");
+  }
+  const JsonValue* peaks = root.FindOfKind("peaks", kObj);
+  if (peaks == nullptr) {
+    return Complain("missing \"peaks\" object");
+  }
+  for (const char* field :
+       {"gflops_1t", "gbps_1t", "threads", "compute_roof_gflops",
+        "memory_roof_gbps"}) {
+    const JsonValue* value = peaks->FindOfKind(field, kNum);
+    if (value == nullptr || value->number <= 0.0) {
+      return Complain("peaks lacks positive numeric \"" + std::string(field) +
+                      "\"");
+    }
+  }
+  if (peaks->FindOfKind("cpu_model", kStr) == nullptr) {
+    return Complain("peaks lacks string \"cpu_model\"");
+  }
+  const JsonValue* ops = root.FindOfKind("ops", kArr);
+  if (ops == nullptr || ops->items.empty()) {
+    return Complain("missing or empty \"ops\" array");
+  }
+  size_t index = 0;
+  for (const JsonValue& op : ops->items) {
+    const std::string where = "ops[" + std::to_string(index++) + "]";
+    if (!op.Is(kObj)) return Complain(where + " is not an object");
+    if (op.FindOfKind("name", kStr) == nullptr) {
+      return Complain(where + " lacks string \"name\"");
+    }
+    for (const char* field :
+         {"calls", "flops", "bytes", "us", "intensity", "achieved_gflops",
+          "achieved_gbps", "roof_gflops", "pct_of_roof"}) {
+      if (!NonNegativeNumber(op, field)) {
+        return Complain(where + " lacks non-negative numeric \"" +
+                        std::string(field) + "\"");
+      }
+    }
+    const double flops = op.Find("flops")->number;
+    const double bytes = op.Find("bytes")->number;
+    const double intensity = op.Find("intensity")->number;
+    if (flops > 0.0 && bytes > 0.0) {
+      const double expected = flops / bytes;
+      if (std::fabs(intensity - expected) > 0.01 * expected) {
+        return Complain(where + ": intensity " + std::to_string(intensity) +
+                        " != flops/bytes " + std::to_string(expected));
+      }
+    }
+    const double pct = op.Find("pct_of_roof")->number;
+    if (pct > 120.0) {
+      return Complain(where + ": pct_of_roof " + std::to_string(pct) +
+                      " exceeds 120 — peaks calibration is inconsistent "
+                      "with the cost model");
+    }
+    const JsonValue* bound = op.FindOfKind("bound", kStr);
+    if (bound == nullptr ||
+        (bound->text != "compute" && bound->text != "memory")) {
+      return Complain(where + ": \"bound\" is not compute|memory");
+    }
+    const JsonValue* counters = op.Find("counters");
+    if (counters == nullptr) {
+      return Complain(where + " lacks \"counters\" (object or null)");
+    }
+    if (counters->Is(kObj)) {
+      for (const auto& [counter, value] : counters->members) {
+        // Individually-failed events read as -1 while the group stays valid.
+        if (!value.Is(kNum) || value.number < -1.0) {
+          return Complain(where + ": counter '" + counter +
+                          "' is not a number >= -1");
+        }
+      }
+    } else if (!counters->Is(JsonValue::Kind::kNull)) {
+      return Complain(where + ": \"counters\" is neither object nor null");
+    }
+  }
+  std::printf("roofline OK: %zu op(s)\n", ops->items.size());
   return true;
 }
 
@@ -380,6 +479,7 @@ int CheckFile(const std::string& mode, const std::string& path) {
   }
   if (mode == "trace") return ValidateTrace(root) ? 0 : 1;
   if (mode == "metrics") return ValidateMetrics(root) ? 0 : 1;
+  if (mode == "roofline") return ValidateRoofline(root) ? 0 : 1;
   Complain("unknown mode '" + mode + "'");
   return 1;
 }
@@ -417,7 +517,7 @@ constexpr const char kGoodLedgerFinal[] =
 int SelfTest() {
   struct Sample {
     const char* label;
-    const char* mode;  // "trace", "metrics", "run-log" or "parse"
+    const char* mode;  // "trace", "metrics", "run-log", "roofline" or "parse"
     std::string json;
     bool expect_ok;
   };
@@ -548,6 +648,71 @@ int SelfTest() {
                    "\"path\":\"/v1/predict\",\"status\":200,\"bytes\":1,"
                    "\"total_us\":10.0,\"stages\":{},\"cache_hit\":1}\n"),
        false},
+      {"good roofline", "roofline",
+       "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"TestCPU\","
+       "\"gflops_1t\":10,\"gbps_1t\":5,\"threads\":4,"
+       "\"compute_roof_gflops\":40,\"memory_roof_gbps\":5,"
+       "\"calibrated_utc\":\"2026-01-01T00:00:00Z\",\"from_cache\":true},"
+       "\"ops\":[{\"name\":\"matmul\",\"calls\":3,\"flops\":200000000,"
+       "\"bytes\":4000000,\"us\":50000,\"intensity\":50,"
+       "\"achieved_gflops\":4,\"achieved_gbps\":0.08,\"roof_gflops\":40,"
+       "\"pct_of_roof\":10,\"bound\":\"compute\",\"counters\":{\"cycles\":"
+       "100,\"instructions\":200,\"l1d_misses\":-1,\"llc_misses\":5,"
+       "\"branch_misses\":1}},{\"name\":\"softmax\",\"calls\":3,"
+       "\"flops\":327680,\"bytes\":524288,\"us\":100,\"intensity\":0.625,"
+       "\"achieved_gflops\":3.2768,\"achieved_gbps\":5.24288,"
+       "\"roof_gflops\":3.125,\"pct_of_roof\":104.9,\"bound\":\"memory\","
+       "\"counters\":null}]}",
+       true},
+      {"roofline with empty ops", "roofline",
+       "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"c\","
+       "\"gflops_1t\":10,\"gbps_1t\":5,\"threads\":4,"
+       "\"compute_roof_gflops\":40,\"memory_roof_gbps\":5},\"ops\":[]}",
+       false},
+      {"roofline missing peaks", "roofline",
+       "{\"bench\":\"roofline\",\"ops\":[{\"name\":\"x\"}]}", false},
+      {"roofline zero memory roof", "roofline",
+       "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"c\","
+       "\"gflops_1t\":10,\"gbps_1t\":0,\"threads\":4,"
+       "\"compute_roof_gflops\":40,\"memory_roof_gbps\":0},"
+       "\"ops\":[{\"name\":\"x\"}]}",
+       false},
+      {"roofline inconsistent intensity", "roofline",
+       "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"c\","
+       "\"gflops_1t\":10,\"gbps_1t\":5,\"threads\":4,"
+       "\"compute_roof_gflops\":40,\"memory_roof_gbps\":5},"
+       "\"ops\":[{\"name\":\"x\",\"calls\":1,\"flops\":100,\"bytes\":100,"
+       "\"us\":1,\"intensity\":7,\"achieved_gflops\":0.1,"
+       "\"achieved_gbps\":0.1,\"roof_gflops\":5,\"pct_of_roof\":2,"
+       "\"bound\":\"memory\",\"counters\":null}]}",
+       false},
+      {"roofline pct over 120", "roofline",
+       "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"c\","
+       "\"gflops_1t\":10,\"gbps_1t\":5,\"threads\":4,"
+       "\"compute_roof_gflops\":40,\"memory_roof_gbps\":5},"
+       "\"ops\":[{\"name\":\"x\",\"calls\":1,\"flops\":100,\"bytes\":100,"
+       "\"us\":1,\"intensity\":1,\"achieved_gflops\":0.1,"
+       "\"achieved_gbps\":0.1,\"roof_gflops\":5,\"pct_of_roof\":150,"
+       "\"bound\":\"memory\",\"counters\":null}]}",
+       false},
+      {"roofline bad bound verdict", "roofline",
+       "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"c\","
+       "\"gflops_1t\":10,\"gbps_1t\":5,\"threads\":4,"
+       "\"compute_roof_gflops\":40,\"memory_roof_gbps\":5},"
+       "\"ops\":[{\"name\":\"x\",\"calls\":1,\"flops\":100,\"bytes\":100,"
+       "\"us\":1,\"intensity\":1,\"achieved_gflops\":0.1,"
+       "\"achieved_gbps\":0.1,\"roof_gflops\":5,\"pct_of_roof\":2,"
+       "\"bound\":\"latency\",\"counters\":null}]}",
+       false},
+      {"roofline counters wrong type", "roofline",
+       "{\"bench\":\"roofline\",\"peaks\":{\"cpu_model\":\"c\","
+       "\"gflops_1t\":10,\"gbps_1t\":5,\"threads\":4,"
+       "\"compute_roof_gflops\":40,\"memory_roof_gbps\":5},"
+       "\"ops\":[{\"name\":\"x\",\"calls\":1,\"flops\":100,\"bytes\":100,"
+       "\"us\":1,\"intensity\":1,\"achieved_gflops\":0.1,"
+       "\"achieved_gbps\":0.1,\"roof_gflops\":5,\"pct_of_roof\":2,"
+       "\"bound\":\"memory\",\"counters\":7}]}",
+       false},
       {"unbalanced braces", "parse", "{\"a\":[1,2}", false},
       {"trailing garbage", "parse", "{} {}", false},
       {"escapes and nesting", "parse",
@@ -571,6 +736,8 @@ int SelfTest() {
         ok = ValidateTrace(root);
       } else if (ok && std::strcmp(sample.mode, "metrics") == 0) {
         ok = ValidateMetrics(root);
+      } else if (ok && std::strcmp(sample.mode, "roofline") == 0) {
+        ok = ValidateRoofline(root);
       }
     }
     if (ok != sample.expect_ok) {
@@ -595,6 +762,7 @@ int Usage() {
                "       sthsl_trace_check metrics <file>\n"
                "       sthsl_trace_check run-log <file>\n"
                "       sthsl_trace_check access-log <file>\n"
+               "       sthsl_trace_check roofline <file>\n"
                "       sthsl_trace_check --selftest\n");
   return 2;
 }
