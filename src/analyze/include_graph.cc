@@ -125,17 +125,20 @@ const std::map<std::string, std::vector<std::string>>& LayerTable() {
       {"util", {"util"}},
       {"exec", {"util", "exec"}},
       {"analyze", {"util", "analyze"}},
-      {"tensor", {"util", "exec", "tensor"}},
-      {"nn", {"util", "exec", "tensor", "nn", "metrics"}},
-      {"metrics", {"util", "exec", "tensor", "nn", "metrics"}},
-      {"data", {"util", "exec", "tensor", "nn", "metrics", "data"}},
+      {"sparse", {"util", "exec", "sparse"}},
+      {"tensor", {"util", "exec", "sparse", "tensor"}},
+      {"nn", {"util", "exec", "sparse", "tensor", "nn", "metrics"}},
+      {"metrics", {"util", "exec", "sparse", "tensor", "nn", "metrics"}},
+      {"data",
+       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data"}},
       {"core",
-       {"util", "exec", "tensor", "nn", "metrics", "data", "core"}},
+       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data",
+        "core"}},
       {"baselines",
-       {"util", "exec", "tensor", "nn", "metrics", "data", "core",
+       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data", "core",
         "baselines"}},
       {"serve",
-       {"util", "exec", "tensor", "nn", "metrics", "data", "core",
+       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data", "core",
         "baselines", "serve"}},
   };
   return table;

@@ -1,8 +1,10 @@
 #include "core/sthsl_model.h"
 
 #include <utility>
+#include <vector>
 
 #include "tensor/ops.h"
+#include "tensor/sparse_ops.h"
 #include "util/check.h"
 #include "util/obs/obs.h"
 
@@ -57,6 +59,16 @@ SthslNet::SthslNet(const SthslConfig& config, int64_t grid_rows,
                                num_regions_ * num_categories_},
                               rng, num_regions_ * num_categories_,
                               config_.num_hyperedges));
+    if (config_.hypergraph_density < 1.0f) {
+      // Sparse incidence structure: keep each Xavier entry with probability
+      // `hypergraph_density`, zero the rest. The surviving coordinates are
+      // the fixed pattern — HypergraphPropagate masks (or never
+      // materializes) gradients outside it, so dropped entries stay exact
+      // zeros through training.
+      for (float& v : hypergraph_.MutableData()) {
+        if (!rng.Bernoulli(config_.hypergraph_density)) v = 0.0f;
+      }
+    }
     if (config_.use_global_temporal) {
       for (int64_t i = 0; i < config_.global_temporal_layers; ++i) {
         global_temporal_convs_.push_back(
@@ -145,9 +157,45 @@ Tensor SthslNet::HypergraphPropagate(const Tensor& embeddings) const {
   // is one hypergraph node; time and latent dims ride along as features.
   Tensor e2 = Reshape(Permute(embeddings, {0, 2, 1, 3}),
                       {num_regions_ * num_categories_, w * d});
-  Tensor to_edges = LeakyRelu(MatMul(hypergraph_, e2), slope);  // (H, W*d)
-  Tensor back = LeakyRelu(
-      MatMul(Transpose(hypergraph_, 0, 1), to_edges), slope);  // (RC, W*d)
+  Tensor to_edges;  // (H, W*d)
+  Tensor back;      // (RC, W*d)
+  if (config_.hypergraph_density < 1.0f) {
+    // Fixed-pattern incidence: the pattern is exactly the parameter's
+    // current nonzeros (construction zeroed the rest, and both branches
+    // below keep gradients off the zero coordinates, so the set never
+    // changes). Dispatch on measured density, not the config knob — the two
+    // agree up to Bernoulli noise, but the stored structure is the truth.
+    const auto& h = hypergraph_.Data();
+    int64_t nnz = 0;
+    for (float v : h) {
+      if (v != 0.0f) ++nnz;
+    }
+    const double density =
+        static_cast<double>(nnz) / static_cast<double>(hypergraph_.Numel());
+    if (density <= config_.sparse_threshold) {
+      // Sparse path: CSR SpMM over stored entries only. Visits entries in
+      // the same ascending order the dense GEMM visits all entries, so the
+      // result is bitwise-identical to the masked-dense branch.
+      sparse::SparseTensor csr = ToSparse(hypergraph_).ToCsr();
+      Tensor values = SparseValues(hypergraph_, csr);
+      to_edges = LeakyRelu(SpMM(csr, values, e2), slope);
+      back = LeakyRelu(
+          SpMM(csr, values, to_edges, /*transpose_a=*/true), slope);
+    } else {
+      // Masked-dense path: multiplying by the 0/1 pattern mask is a no-op
+      // on the forward values (the zeros are already exact +0) but blocks
+      // gradient flow to the zero coordinates in the backward pass.
+      std::vector<float> mask(h.size());
+      for (size_t i = 0; i < h.size(); ++i) mask[i] = h[i] != 0.0f ? 1.0f : 0.0f;
+      Tensor hm = Mul(hypergraph_,
+                      Tensor::FromVector(hypergraph_.Shape(), std::move(mask)));
+      to_edges = LeakyRelu(MatMul(hm, e2), slope);
+      back = LeakyRelu(MatMul(Transpose(hm, 0, 1), to_edges), slope);
+    }
+  } else {
+    to_edges = LeakyRelu(MatMul(hypergraph_, e2), slope);
+    back = LeakyRelu(MatMul(Transpose(hypergraph_, 0, 1), to_edges), slope);
+  }
   // Residual connection, as in the paper's Eq. 2-3 convolutions: keeps each
   // node's own signal alongside the (low-rank) global hyperedge mixing.
   back = Add(back, e2);

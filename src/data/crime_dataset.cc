@@ -1,5 +1,6 @@
 #include "data/crime_dataset.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -23,76 +24,166 @@ CrimeDataset::CrimeDataset(std::string city_name, int64_t rows, int64_t cols,
   STHSL_CHECK_EQ(counts_.Size(2),
                  static_cast<int64_t>(category_names_.size()))
       << "category count mismatch";
+  days_ = counts_.Size(1);
+  cats_ = counts_.Size(2);
+  const auto& data = counts_.Data();
+  for (float v : data) {
+    if (v != 0.0f) ++nnz_;
+  }
+  if (!data.empty() && Density() <= SparseStorageThreshold()) {
+    sparse_mode_ = true;
+    sparse_counts_ = sparse::SparseTensor::FromDense(
+        data.data(), counts_.Shape());
+    counts_ = Tensor();  // release the dense buffer; counts() rebuilds it
+  }
 }
 
-int64_t CrimeDataset::num_days() const { return counts_.Size(1); }
-int64_t CrimeDataset::num_categories() const { return counts_.Size(2); }
+const Tensor& CrimeDataset::counts() const {
+  if (sparse_mode_ && !counts_.Defined()) {
+    counts_ = Tensor::FromVector(sparse_counts_.shape(),
+                                 sparse_counts_.ToDense());
+  }
+  return counts_;
+}
+
+double CrimeDataset::Density() const {
+  const int64_t numel = num_regions() * days_ * cats_;
+  if (numel == 0) return 0.0;
+  return static_cast<double>(nnz_) / static_cast<double>(numel);
+}
+
+double CrimeDataset::SparseStorageThreshold() {
+  // Re-read on every call (it only runs once per dataset construction), so
+  // tests can flip storage modes within one process.
+  const char* env = std::getenv("STHSL_DATA_SPARSE_THRESHOLD");
+  if (env == nullptr || env[0] == '\0') return 0.25;
+  return std::min(1.0, std::max(0.0, std::atof(env)));
+}
+
+void CrimeDataset::ForEachNonzero(
+    const std::function<void(int64_t, int64_t, int64_t, float)>& fn) const {
+  if (sparse_mode_) {
+    const auto& flat = sparse_counts_.FlatIndices();
+    const auto& vals = sparse_counts_.Values();
+    for (size_t e = 0; e < flat.size(); ++e) {
+      const int64_t f = flat[e];
+      const int64_t r = f / (days_ * cats_);
+      const int64_t rem = f % (days_ * cats_);
+      fn(r, rem / cats_, rem % cats_, vals[e]);
+    }
+    return;
+  }
+  const auto& data = counts_.Data();
+  const int64_t regions = num_regions();
+  for (int64_t r = 0; r < regions; ++r) {
+    for (int64_t t = 0; t < days_; ++t) {
+      for (int64_t c = 0; c < cats_; ++c) {
+        const float v = data[static_cast<size_t>((r * days_ + t) * cats_ + c)];
+        if (v != 0.0f) fn(r, t, c, v);
+      }
+    }
+  }
+}
 
 float CrimeDataset::Count(int64_t r, int64_t t, int64_t c) const {
+  STHSL_CHECK(r >= 0 && r < num_regions() && t >= 0 && t < days_ && c >= 0 &&
+              c < cats_);
+  if (sparse_mode_) {
+    const auto& flat = sparse_counts_.FlatIndices();
+    const int64_t f = (r * days_ + t) * cats_ + c;
+    auto it = std::lower_bound(flat.begin(), flat.end(), f);
+    if (it == flat.end() || *it != f) return 0.0f;
+    return sparse_counts_.Values()[static_cast<size_t>(it - flat.begin())];
+  }
   return counts_.At({r, t, c});
 }
 
 double CrimeDataset::CategoryTotal(int64_t c) const {
-  const int64_t regions = num_regions();
-  const int64_t days = num_days();
-  const int64_t cats = num_categories();
-  STHSL_CHECK(c >= 0 && c < cats);
-  const auto& data = counts_.Data();
+  STHSL_CHECK(c >= 0 && c < cats_);
+  // Nonzero cells arrive in ascending (r, t, c) order — the same order the
+  // dense loop visits them — and skipping exact zeros leaves a double
+  // accumulation unchanged, so both storage modes produce the same total.
   double total = 0.0;
-  for (int64_t r = 0; r < regions; ++r) {
-    for (int64_t t = 0; t < days; ++t) {
-      total += data[static_cast<size_t>((r * days + t) * cats + c)];
-    }
-  }
+  ForEachNonzero([&](int64_t, int64_t, int64_t cc, float v) {
+    if (cc == c) total += v;
+  });
   return total;
 }
 
 double CrimeDataset::DensityDegree(int64_t r) const {
-  const int64_t days = num_days();
-  const int64_t cats = num_categories();
   STHSL_CHECK(r >= 0 && r < num_regions());
-  const auto& data = counts_.Data();
+  std::vector<char> active(static_cast<size_t>(days_), 0);
+  ForEachNonzero([&](int64_t rr, int64_t t, int64_t, float v) {
+    if (rr == r && v > 0.0f) active[static_cast<size_t>(t)] = 1;
+  });
   int64_t active_days = 0;
-  for (int64_t t = 0; t < days; ++t) {
-    for (int64_t c = 0; c < cats; ++c) {
-      if (data[static_cast<size_t>((r * days + t) * cats + c)] > 0.0f) {
-        ++active_days;
-        break;
-      }
-    }
-  }
-  return static_cast<double>(active_days) / static_cast<double>(days);
+  for (char a : active) active_days += a;
+  return static_cast<double>(active_days) / static_cast<double>(days_);
 }
 
 double CrimeDataset::DensityDegree(int64_t r, int64_t c) const {
-  const int64_t days = num_days();
-  const int64_t cats = num_categories();
   STHSL_CHECK(r >= 0 && r < num_regions());
-  STHSL_CHECK(c >= 0 && c < cats);
-  const auto& data = counts_.Data();
+  STHSL_CHECK(c >= 0 && c < cats_);
   int64_t active_days = 0;
-  for (int64_t t = 0; t < days; ++t) {
-    if (data[static_cast<size_t>((r * days + t) * cats + c)] > 0.0f) {
-      ++active_days;
-    }
-  }
-  return static_cast<double>(active_days) / static_cast<double>(days);
+  ForEachNonzero([&](int64_t rr, int64_t, int64_t cc, float v) {
+    if (rr == r && cc == c && v > 0.0f) ++active_days;
+  });
+  return static_cast<double>(active_days) / static_cast<double>(days_);
 }
 
 void CrimeDataset::ComputeMoments(float* mean, float* stddev) const {
-  const auto& data = counts_.Data();
-  STHSL_CHECK(!data.empty());
+  const int64_t numel = num_regions() * days_ * cats_;
+  STHSL_CHECK_GT(numel, 0);
+  if (!sparse_mode_ || counts_.Defined()) {
+    const auto& data = counts().Data();
+    double sum = 0.0;
+    for (float v : data) sum += v;
+    const double mu = sum / static_cast<double>(numel);
+    double var = 0.0;
+    for (float v : data) var += (v - mu) * (v - mu);
+    var /= static_cast<double>(numel);
+    *mean = static_cast<float>(mu);
+    *stddev = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+    return;
+  }
+  // Sparse walk, bit-exact against the dense loop above: skipping zero
+  // addends leaves the sum unchanged, and the variance pass replays every
+  // cell in flat order — each zero cell contributes (0 - mu)² == mu·mu, one
+  // sequential add per cell, exactly like the dense loop.
+  const auto& flat = sparse_counts_.FlatIndices();
+  const auto& vals = sparse_counts_.Values();
   double sum = 0.0;
-  for (float v : data) sum += v;
-  const double mu = sum / static_cast<double>(data.size());
+  for (float v : vals) sum += v;
+  const double mu = sum / static_cast<double>(numel);
+  const double zero_sq = mu * mu;
   double var = 0.0;
-  for (float v : data) var += (v - mu) * (v - mu);
-  var /= static_cast<double>(data.size());
+  int64_t next = 0;
+  for (size_t e = 0; e < flat.size(); ++e) {
+    for (int64_t i = next; i < flat[e]; ++i) var += zero_sq;
+    var += (vals[e] - mu) * (vals[e] - mu);
+    next = flat[e] + 1;
+  }
+  for (int64_t i = next; i < numel; ++i) var += zero_sq;
+  var /= static_cast<double>(numel);
   *mean = static_cast<float>(mu);
   *stddev = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
 }
 
 CrimeDataset CrimeDataset::SliceDays(int64_t start, int64_t length) const {
+  STHSL_CHECK(start >= 0 && length >= 0 && start + length <= days_);
+  if (sparse_mode_) {
+    // Scatter the surviving entries into a dense slice; the constructor
+    // re-engages sparse storage if the slice is below threshold.
+    std::vector<float> out(
+        static_cast<size_t>(num_regions() * length * cats_), 0.0f);
+    ForEachNonzero([&](int64_t r, int64_t t, int64_t c, float v) {
+      if (t < start || t >= start + length) return;
+      out[static_cast<size_t>((r * length + (t - start)) * cats_ + c)] = v;
+    });
+    return CrimeDataset(
+        city_name_, rows_, cols_, category_names_,
+        Tensor::FromVector({num_regions(), length, cats_}, std::move(out)));
+  }
   NoGradGuard no_grad;
   Tensor sliced = Narrow(counts_, 1, start, length);
   return CrimeDataset(city_name_, rows_, cols_, category_names_,
@@ -100,14 +191,49 @@ CrimeDataset CrimeDataset::SliceDays(int64_t start, int64_t length) const {
 }
 
 Tensor CrimeDataset::WindowInput(int64_t t_end, int64_t window) const {
-  STHSL_CHECK(t_end - window >= 0 && t_end <= num_days())
+  STHSL_CHECK(t_end - window >= 0 && t_end <= days_)
       << "window [" << t_end - window << ", " << t_end << ") out of range";
+  if (sparse_mode_) {
+    const int64_t start = t_end - window;
+    std::vector<float> out(
+        static_cast<size_t>(num_regions() * window * cats_), 0.0f);
+    ForEachNonzero([&](int64_t r, int64_t t, int64_t c, float v) {
+      if (t < start || t >= t_end) return;
+      out[static_cast<size_t>((r * window + (t - start)) * cats_ + c)] = v;
+    });
+    return Tensor::FromVector({num_regions(), window, cats_}, std::move(out));
+  }
   NoGradGuard no_grad;
   return Narrow(counts_, 1, t_end - window, window).Detach();
 }
 
+int64_t CrimeDataset::WindowNnz(int64_t t_end, int64_t window) const {
+  STHSL_CHECK(t_end - window >= 0 && t_end <= days_)
+      << "window [" << t_end - window << ", " << t_end << ") out of range";
+  const int64_t start = t_end - window;
+  int64_t nnz = 0;
+  ForEachNonzero([&](int64_t, int64_t t, int64_t, float) {
+    if (t >= start && t < t_end) ++nnz;
+  });
+  return nnz;
+}
+
+double CrimeDataset::WindowDensity(int64_t t_end, int64_t window) const {
+  const int64_t cells = num_regions() * window * cats_;
+  if (cells == 0) return 0.0;
+  return static_cast<double>(WindowNnz(t_end, window)) /
+         static_cast<double>(cells);
+}
+
 Tensor CrimeDataset::TargetDay(int64_t t) const {
-  STHSL_CHECK(t >= 0 && t < num_days());
+  STHSL_CHECK(t >= 0 && t < days_);
+  if (sparse_mode_) {
+    std::vector<float> out(static_cast<size_t>(num_regions() * cats_), 0.0f);
+    ForEachNonzero([&](int64_t r, int64_t tt, int64_t c, float v) {
+      if (tt == t) out[static_cast<size_t>(r * cats_ + c)] = v;
+    });
+    return Tensor::FromVector({num_regions(), cats_}, std::move(out));
+  }
   NoGradGuard no_grad;
   Tensor day = Narrow(counts_, 1, t, 1);
   return Reshape(day, {num_regions(), num_categories()}).Detach();
@@ -118,29 +244,22 @@ Status CrimeDataset::SaveCsv(const std::string& path) const {
   table.header = {"city", "rows", "cols", "region", "day", "category",
                   "category_name", "count"};
   const int64_t regions = num_regions();
-  const int64_t days = num_days();
-  const int64_t cats = num_categories();
-  const auto& data = counts_.Data();
   // A sentinel row records the full extent so zero-tail days round-trip.
   // It is written FIRST so that a genuine count at the same cell (written
   // below) overwrites it on load.
   table.rows.push_back({city_name_, std::to_string(rows_),
                         std::to_string(cols_), std::to_string(regions - 1),
-                        std::to_string(days - 1), std::to_string(cats - 1),
-                        category_names_[static_cast<size_t>(cats - 1)], "0"});
-  for (int64_t r = 0; r < regions; ++r) {
-    for (int64_t t = 0; t < days; ++t) {
-      for (int64_t c = 0; c < cats; ++c) {
-        const float v = data[static_cast<size_t>((r * days + t) * cats + c)];
-        if (v == 0.0f) continue;  // sparse storage
-        table.rows.push_back({city_name_, std::to_string(rows_),
-                              std::to_string(cols_), std::to_string(r),
-                              std::to_string(t), std::to_string(c),
-                              category_names_[static_cast<size_t>(c)],
-                              std::to_string(static_cast<int64_t>(v))});
-      }
-    }
-  }
+                        std::to_string(days_ - 1), std::to_string(cats_ - 1),
+                        category_names_[static_cast<size_t>(cats_ - 1)], "0"});
+  // Both storage modes enumerate nonzeros in (r, t, c) order, so the file
+  // bytes are independent of the storage mode.
+  ForEachNonzero([&](int64_t r, int64_t t, int64_t c, float v) {
+    table.rows.push_back({city_name_, std::to_string(rows_),
+                          std::to_string(cols_), std::to_string(r),
+                          std::to_string(t), std::to_string(c),
+                          category_names_[static_cast<size_t>(c)],
+                          std::to_string(static_cast<int64_t>(v))});
+  });
   return WriteCsv(path, table);
 }
 

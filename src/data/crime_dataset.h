@@ -2,9 +2,11 @@
 #define STHSL_DATA_CRIME_DATASET_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "sparse/sparse_tensor.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -31,14 +33,43 @@ class CrimeDataset {
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   int64_t num_regions() const { return rows_ * cols_; }
-  int64_t num_days() const;
-  int64_t num_categories() const;
+  int64_t num_days() const { return days_; }
+  int64_t num_categories() const { return cats_; }
   const std::vector<std::string>& category_names() const {
     return category_names_;
   }
 
-  /// The full (R, T, C) tensor (detached; no autograd).
-  const Tensor& counts() const { return counts_; }
+  /// The full (R, T, C) tensor (detached; no autograd). In sparse storage
+  /// mode the dense tensor is materialized (and cached) on first use; the
+  /// first call is not thread-safe in that mode.
+  const Tensor& counts() const;
+
+  /// True when the counts are held in COO sparse storage — engaged at
+  /// construction whenever the fill fraction is at or below
+  /// SparseStorageThreshold(). Every accessor below works identically (and
+  /// value-exactly) in both modes; see docs/sparse.md.
+  bool sparse_storage() const { return sparse_mode_; }
+
+  /// Nonzero cells of the full (R, T, C) tensor.
+  int64_t Nnz() const { return nnz_; }
+
+  /// Fill fraction nnz / (R·T·C).
+  double Density() const;
+
+  /// Nonzero cells of the input window covering days [t_end - window,
+  /// t_end) — the per-window sparsity statistic behind the paper's Fig. 1
+  /// discussion (most region-day-category cells are empty).
+  int64_t WindowNnz(int64_t t_end, int64_t window) const;
+
+  /// Fill fraction of the same window: WindowNnz / (R·window·C).
+  double WindowDensity(int64_t t_end, int64_t window) const;
+
+  /// Density threshold at or below which freshly constructed datasets keep
+  /// COO storage instead of the dense tensor. Reads the environment
+  /// variable STHSL_DATA_SPARSE_THRESHOLD at each construction (default
+  /// 0.25, clamped to [0, 1]); set it to 0 to force dense storage, to 1 to
+  /// force sparse.
+  static double SparseStorageThreshold();
 
   /// Crime count at region r, day t, category c.
   float Count(int64_t r, int64_t t, int64_t c) const;
@@ -70,12 +101,26 @@ class CrimeDataset {
   static Result<CrimeDataset> LoadCsv(const std::string& path);
 
  private:
+  /// Visits every nonzero cell in ascending (r, t, c) order — the shared
+  /// iteration both storage modes expose, so derived statistics accumulate
+  /// in exactly the same order either way.
+  void ForEachNonzero(
+      const std::function<void(int64_t r, int64_t t, int64_t c, float v)>& fn)
+      const;
+
   std::string city_name_;
   int64_t generator_seed_ = -1;
   int64_t rows_ = 0;
   int64_t cols_ = 0;
+  int64_t days_ = 0;
+  int64_t cats_ = 0;
   std::vector<std::string> category_names_;
-  Tensor counts_;  // (R, T, C)
+  /// Dense (R, T, C) storage; in sparse mode this is the lazily
+  /// materialized cache (undefined until counts() is first called).
+  mutable Tensor counts_;
+  sparse::SparseTensor sparse_counts_;  // COO, defined iff sparse_mode_
+  bool sparse_mode_ = false;
+  int64_t nnz_ = 0;
 };
 
 /// Chronological train/validation/test split. Following the paper: the test

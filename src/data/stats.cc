@@ -66,4 +66,33 @@ double SpatialGini(const CrimeDataset& data, int64_t c) {
   return weighted / (n * sum);
 }
 
+WindowDensitySummary SummarizeWindowDensity(const CrimeDataset& data,
+                                            int64_t window) {
+  STHSL_CHECK_GT(window, 0);
+  STHSL_CHECK_LE(window, data.num_days());
+  WindowDensitySummary summary;
+  summary.window = window;
+  const int64_t cells =
+      data.num_regions() * window * data.num_categories();
+  double nnz_sum = 0.0;
+  for (int64_t t_end = window; t_end <= data.num_days(); ++t_end) {
+    const int64_t nnz = data.WindowNnz(t_end, window);
+    if (summary.num_windows == 0) {
+      summary.min_nnz = summary.max_nnz = nnz;
+    } else {
+      summary.min_nnz = std::min(summary.min_nnz, nnz);
+      summary.max_nnz = std::max(summary.max_nnz, nnz);
+    }
+    nnz_sum += static_cast<double>(nnz);
+    ++summary.num_windows;
+  }
+  if (summary.num_windows == 0 || cells == 0) return summary;
+  summary.mean_nnz = nnz_sum / static_cast<double>(summary.num_windows);
+  const double inv_cells = 1.0 / static_cast<double>(cells);
+  summary.min_density = static_cast<double>(summary.min_nnz) * inv_cells;
+  summary.max_density = static_cast<double>(summary.max_nnz) * inv_cells;
+  summary.mean_density = summary.mean_nnz * inv_cells;
+  return summary;
+}
+
 }  // namespace sthsl

@@ -29,6 +29,24 @@ std::vector<int64_t> RegionsInDensityRange(const CrimeDataset& data,
 /// region). Used by tests to assert the generator plants the Fig. 2 skew.
 double SpatialGini(const CrimeDataset& data, int64_t c);
 
+/// Per-window sparsity summary: nnz / fill-fraction statistics over every
+/// length-`window` input window the dataset can serve (the Fig. 1 sparsity
+/// picture at the granularity the model actually consumes; drives the
+/// dense-vs-sparse dispatch guidance in docs/sparse.md).
+struct WindowDensitySummary {
+  int64_t window = 0;
+  int64_t num_windows = 0;
+  int64_t min_nnz = 0;
+  int64_t max_nnz = 0;
+  double mean_nnz = 0.0;
+  double min_density = 0.0;
+  double max_density = 0.0;
+  double mean_density = 0.0;
+};
+
+WindowDensitySummary SummarizeWindowDensity(const CrimeDataset& data,
+                                            int64_t window);
+
 }  // namespace sthsl
 
 #endif  // STHSL_DATA_STATS_H_

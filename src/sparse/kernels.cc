@@ -1,0 +1,120 @@
+#include "sparse/kernels.h"
+
+#include <algorithm>
+
+#include "exec/exec.h"
+
+namespace sthsl::sparse {
+namespace {
+
+// Target flop count per fixed chunk, matching the dense GEMM grain: keeps
+// dispatch overhead negligible while letting sparse workloads fill the pool.
+constexpr int64_t kSparseGrainFlops = int64_t{1} << 17;
+
+// Fixed-chunk grain over `rows` given the average per-row flop cost. The
+// chunk boundaries depend only on the range and this grain — never on the
+// thread count — per the exec determinism contract.
+int64_t RowGrain(int64_t nnz, int64_t rows, int64_t flops_per_entry) {
+  if (rows < 1) return 1;
+  const int64_t per_row =
+      std::max<int64_t>(1, nnz / rows * std::max<int64_t>(1, flops_per_entry));
+  return std::max<int64_t>(1, kSparseGrainFlops / per_row);
+}
+
+}  // namespace
+
+void SpmmCsrDense(const int64_t* row_ptr, const int64_t* cols,
+                  const float* vals, const int64_t* perm, int64_t m,
+                  const float* b, int64_t n, float* out) {
+  const int64_t nnz = row_ptr[m];
+  exec::ParallelForFixedChunks(
+      0, m, RowGrain(nnz, m, 2 * n),
+      [=](int64_t, int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          float* crow = out + i * n;
+          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            const float av = vals[perm != nullptr ? perm[e] : e];
+            const float* brow = b + cols[e] * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      "exec/spmm");
+}
+
+void SpmmValueGrad(const int64_t* row_ptr, const int64_t* cols,
+                   const float* g, const float* b, const int64_t* perm,
+                   int64_t m, int64_t n, float* dvals) {
+  const int64_t nnz = row_ptr[m];
+  exec::ParallelForFixedChunks(
+      0, m, RowGrain(nnz, m, 2 * n),
+      [=](int64_t, int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* grow = g + i * n;
+          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            const float* brow = b + cols[e] * n;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            dvals[perm != nullptr ? perm[e] : e] = acc;
+          }
+        }
+      },
+      "exec/spmm_vgrad");
+}
+
+void GatherRowsKernel(const float* table, int64_t width, const int64_t* idx,
+                      int64_t count, float* out) {
+  const int64_t grain = std::max<int64_t>(1, (int64_t{1} << 14) /
+                                                 std::max<int64_t>(1, width));
+  exec::ParallelForFixedChunks(
+      0, count, grain,
+      [=](int64_t, int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* src = table + idx[i] * width;
+          float* dst = out + i * width;
+          for (int64_t j = 0; j < width; ++j) dst[j] = src[j];
+        }
+      },
+      "exec/gather_rows");
+}
+
+void ScatterAddRowsKernel(const float* g, int64_t width, const int64_t* idx,
+                          int64_t count, float* table_grad) {
+  const int64_t grain = std::max<int64_t>(1, (int64_t{1} << 14) /
+                                                 std::max<int64_t>(1, count));
+  // Column-parallel: each chunk owns a disjoint slice of the feature
+  // dimension, and inside a chunk the duplicate-index accumulation runs in
+  // ascending i — the serial order — at any thread count.
+  exec::ParallelForFixedChunks(
+      0, width, grain,
+      [=](int64_t, int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < count; ++i) {
+          const float* src = g + i * width;
+          float* dst = table_grad + idx[i] * width;
+          for (int64_t j = j0; j < j1; ++j) dst[j] += src[j];
+        }
+      },
+      "exec/scatter_add_rows");
+}
+
+void GatherFlatKernel(const float* dense, const int64_t* flat, int64_t count,
+                      float* out) {
+  exec::ParallelForFixedChunks(
+      0, count, int64_t{1} << 14,
+      [=](int64_t, int64_t e0, int64_t e1) {
+        for (int64_t e = e0; e < e1; ++e) out[e] = dense[flat[e]];
+      },
+      "exec/gather_flat");
+}
+
+void ScatterFlatKernel(const float* g, const int64_t* flat, int64_t count,
+                       float* dense) {
+  exec::ParallelForFixedChunks(
+      0, count, int64_t{1} << 14,
+      [=](int64_t, int64_t e0, int64_t e1) {
+        for (int64_t e = e0; e < e1; ++e) dense[flat[e]] = g[e];
+      },
+      "exec/scatter_flat");
+}
+
+}  // namespace sthsl::sparse

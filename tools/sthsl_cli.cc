@@ -71,7 +71,9 @@ int Usage() {
       "           one-shot offline prediction: feed the --window days\n"
       "           ending at day T (default: end of file) through the\n"
       "           bundled model, print per-region/category forecasts\n"
-      "  stats    --data FILE\n"
+      "  stats    --data FILE [--verbose 1] [--window N]\n"
+      "           --verbose 1 adds storage mode, tensor nnz/density and a\n"
+      "           per-window (default len 14) sparsity summary\n"
       "  calibrate [--force 1] [--budget-ms N]\n"
       "           measure this machine's single-thread FMA GFLOP/s and\n"
       "           stream-triad GB/s for the roofline reporter; results are\n"
@@ -410,6 +412,28 @@ int CmdStats(const Args& args) {
     std::printf(" %lld", static_cast<long long>(count));
   }
   std::printf("\n");
+  if (args.GetInt("verbose", 0) != 0) {
+    // Sparsity of the tensor the model actually consumes: global fill plus
+    // per-window nnz/density over every training-window-sized slice.
+    std::printf("  storage: %s  nnz %lld / %lld cells  density %.4f\n",
+                data.sparse_storage() ? "sparse (COO)" : "dense",
+                static_cast<long long>(data.Nnz()),
+                static_cast<long long>(data.num_regions() * data.num_days() *
+                                       data.num_categories()),
+                data.Density());
+    const int64_t window =
+        std::min<int64_t>(args.GetInt("window", 14), data.num_days());
+    const WindowDensitySummary windows =
+        SummarizeWindowDensity(data, window);
+    std::printf(
+        "  windows (len %lld, %lld total): nnz min %lld mean %.1f max %lld"
+        "  density min %.4f mean %.4f max %.4f\n",
+        static_cast<long long>(windows.window),
+        static_cast<long long>(windows.num_windows),
+        static_cast<long long>(windows.min_nnz), windows.mean_nnz,
+        static_cast<long long>(windows.max_nnz), windows.min_density,
+        windows.mean_density, windows.max_density);
+  }
   return 0;
 }
 

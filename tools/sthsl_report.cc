@@ -777,14 +777,26 @@ int SelfTest() {
       "\"flops\":327680,\"bytes\":524288,\"us\":100,\"intensity\":0.625,"
       "\"achieved_gflops\":3.2768,\"achieved_gbps\":5.24288,"
       "\"roof_gflops\":3.125,\"pct_of_roof\":104.9,\"bound\":\"memory\","
+      "\"counters\":null},{\"name\":\"spmm\",\"calls\":3,"
+      "\"flops\":1000000,\"bytes\":2000000,\"us\":1000,\"intensity\":0.5,"
+      "\"achieved_gflops\":1,\"achieved_gbps\":2,\"roof_gflops\":2.5,"
+      "\"pct_of_roof\":40,\"bound\":\"memory\",\"counters\":null},"
+      "{\"name\":\"gather.bwd\",\"calls\":3,\"flops\":131072,"
+      "\"bytes\":1048576,\"us\":500,\"intensity\":0.125,"
+      "\"achieved_gflops\":0.262144,\"achieved_gbps\":2.097152,"
+      "\"roof_gflops\":0.625,\"pct_of_roof\":41.9,\"bound\":\"memory\","
       "\"counters\":null}]}";
   RooflineDoc roofline;
   expect(ParseRooflineText(kRooflineSample, "<selftest>", &roofline),
          "roofline json parses");
-  expect(roofline.ops.size() == 2 && roofline.cpu_model == "TestCPU" &&
+  expect(roofline.ops.size() == 4 && roofline.cpu_model == "TestCPU" &&
              std::fabs(roofline.compute_roof_gflops - 40.0) < 1e-12,
          "roofline peaks extracted");
-  expect(roofline.ops.size() == 2 && roofline.ops[0].has_counters &&
+  expect(roofline.ops.size() == 4 && roofline.ops[2].name == "spmm" &&
+             roofline.ops[3].name == "gather.bwd" &&
+             std::fabs(roofline.ops[2].intensity - 0.5) < 1e-12,
+         "sparse-kernel roofline rows extracted");
+  expect(roofline.ops.size() == 4 && roofline.ops[0].has_counters &&
              std::fabs(roofline.ops[0].cycles - 1000.0) < 1e-12 &&
              !roofline.ops[1].has_counters,
          "roofline counters extracted, null counters skipped");

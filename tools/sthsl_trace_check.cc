@@ -662,6 +662,14 @@ int SelfTest() {
        "\"flops\":327680,\"bytes\":524288,\"us\":100,\"intensity\":0.625,"
        "\"achieved_gflops\":3.2768,\"achieved_gbps\":5.24288,"
        "\"roof_gflops\":3.125,\"pct_of_roof\":104.9,\"bound\":\"memory\","
+       "\"counters\":null},{\"name\":\"spmm\",\"calls\":3,"
+       "\"flops\":1000000,\"bytes\":2000000,\"us\":1000,\"intensity\":0.5,"
+       "\"achieved_gflops\":1,\"achieved_gbps\":2,\"roof_gflops\":2.5,"
+       "\"pct_of_roof\":40,\"bound\":\"memory\",\"counters\":null},"
+       "{\"name\":\"gather.bwd\",\"calls\":3,\"flops\":131072,"
+       "\"bytes\":1048576,\"us\":500,\"intensity\":0.125,"
+       "\"achieved_gflops\":0.262144,\"achieved_gbps\":2.097152,"
+       "\"roof_gflops\":0.625,\"pct_of_roof\":41.9,\"bound\":\"memory\","
        "\"counters\":null}]}",
        true},
       {"roofline with empty ops", "roofline",
