@@ -5,8 +5,10 @@
 // with the model-complexity analysis of Sec. III-F.
 //
 // After the google-benchmark suite, main() runs a thread-scaling sweep of
-// the exec-layer kernels (1/2/4/8 threads) and writes the speedup-vs-serial
-// table to $STHSL_BENCH_JSON_DIR/BENCH_parallel.json.
+// the exec-layer kernels (1/2/4/8 threads, BENCH_parallel.json), a SIMD
+// variant sweep plus fusion-footprint measurement (BENCH_kernels.json), and
+// the roofline report (BENCH_roofline.json), all under
+// $STHSL_BENCH_JSON_DIR.
 
 #include <benchmark/benchmark.h>
 
@@ -19,7 +21,9 @@
 #include "common.h"
 #include "core/sthsl_model.h"
 #include "exec/exec.h"
+#include "simd/simd.h"
 #include "sparse/sparse_tensor.h"
+#include "tensor/fusion.h"
 #include "tensor/optimizer.h"
 #include "tensor/sparse_ops.h"
 #include "tensor/ops.h"
@@ -225,6 +229,108 @@ void RunThreadScalingSweep() {
   bench::MaybeWriteBenchJson("parallel", json);
 }
 
+// -- ISA sweep + fusion memory bench ------------------------------------------
+
+// Re-times the hot kernels under every microkernel set compiled into this
+// binary (dispatched best first, then each named variant) so the artifact
+// shows what the SIMD dispatch layer buys on this host, and measures the
+// peak tensor footprint of an elementwise chain with fusion on vs off.
+// Written to $STHSL_BENCH_JSON_DIR/BENCH_kernels.json.
+void RunIsaSweepAndFusionBench() {
+  Rng rng(10);
+  Tensor ga = Tensor::Randn({256, 256}, rng);
+  Tensor gb = Tensor::Randn({256, 256}, rng);
+  Tensor logits = Tensor::Randn({256, 256}, rng);
+  Tensor ex = Tensor::Randn({int64_t{1} << 20}, rng);
+  Tensor ey = Tensor::Randn({int64_t{1} << 20}, rng);
+  const std::vector<SweepKernel> kernels = {
+      {"gemm_nn_256", [&] { benchmark::DoNotOptimize(MatMul(ga, gb)); }},
+      {"softmax_256", [&] { benchmark::DoNotOptimize(Softmax(logits, 1)); }},
+      {"elementwise_chain_1m",
+       // .Data() forces materialization — the chain is lazy, so timing the
+       // tensor construction alone would measure nothing.
+       [&] {
+         benchmark::DoNotOptimize(
+             Sigmoid(Add(Mul(ex, ey), ex)).Data().data());
+       }},
+  };
+  constexpr int kIters = 5;
+
+  // Dispatched set first, then every other variant this binary carries.
+  std::vector<const simd::MicrokernelSet*> variants = {&simd::Kernels()};
+  for (const char* name : {"portable", "avx2", "neon"}) {
+    const simd::MicrokernelSet* set = simd::KernelsByName(name);
+    if (set != nullptr && std::string(set->name) != variants[0]->name) {
+      variants.push_back(set);
+    }
+  }
+
+  NoGradGuard no_grad;
+  bench::PrintSectionTitle("SIMD variant sweep (best-of-5, us)");
+  {
+    std::vector<std::string> columns = {"kernel"};
+    for (const auto* v : variants) columns.push_back(v->name);
+    bench::PrintTableHeader(columns, 24, 12);
+  }
+
+  std::string json = "{\n  \"dispatched\": \"";
+  json += simd::Kernels().name;
+  json += "\",\n  \"cpu_features\": \"" + simd::CpuFeatureString() +
+          "\",\n  \"threads\": " + std::to_string(exec::ThreadCount()) +
+          ",\n  \"kernels\": [\n";
+  for (size_t ki = 0; ki < kernels.size(); ++ki) {
+    const SweepKernel& kernel = kernels[ki];
+    std::vector<double> row;
+    std::string entries;
+    for (size_t vi = 0; vi < variants.size(); ++vi) {
+      simd::SetKernelsForTesting(variants[vi]);
+      const double us = TimeUs(kernel.run, kIters);
+      simd::SetKernelsForTesting(nullptr);
+      row.push_back(us);
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "      {\"variant\": \"%s\", \"us\": %.1f}%s\n",
+                    variants[vi]->name, us,
+                    vi + 1 < variants.size() ? "," : "");
+      entries += buf;
+    }
+    bench::PrintTableRow(kernel.name, row, 24, 12, 1);
+    json += "    {\"name\": \"" + kernel.name + "\", \"variants\": [\n" +
+            entries;
+    json += ki + 1 < kernels.size() ? "    ]},\n" : "    ]}\n";
+  }
+  json += "  ],\n";
+
+  // Fusion footprint: a 4-step unary/binary chain on a 1M-element tensor.
+  // Eager evaluation materializes every intermediate; the fused chain
+  // allocates only the final buffer.
+  const auto peak_bytes = [&](int fusion_mode) {
+    SetFusionEnabledForTesting(fusion_mode);
+    const bool previous = obs::SetTraceEnabled(true);
+    obs::ResetProfiler();
+    benchmark::DoNotOptimize(
+        MulScalar(Sigmoid(AddScalar(Mul(ex, ey), 0.5f)), 2.0f).Data());
+    const int64_t peak = obs::PeakTensorBytes();
+    obs::ResetProfiler();
+    obs::SetTraceEnabled(previous);
+    SetFusionEnabledForTesting(-1);
+    return peak;
+  };
+  const int64_t fused_peak = peak_bytes(1);
+  const int64_t eager_peak = peak_bytes(0);
+  std::printf("fusion peak tensor bytes: fused=%lld eager=%lld (%.2fx)\n",
+              static_cast<long long>(fused_peak),
+              static_cast<long long>(eager_peak),
+              fused_peak > 0 ? static_cast<double>(eager_peak) /
+                                   static_cast<double>(fused_peak)
+                             : 0.0);
+  json += "  \"fusion\": {\"chain\": \"mul_scalar(sigmoid(add_scalar(mul(x, "
+          "y), 0.5)), 2.0) over 2^20 floats\", \"fused_peak_bytes\": " +
+          std::to_string(fused_peak) +
+          ", \"eager_peak_bytes\": " + std::to_string(eager_peak) + "}\n}\n";
+  bench::MaybeWriteBenchJson("kernels", json);
+}
+
 // -- Roofline bench -----------------------------------------------------------
 
 // Counter-isolated kernel workloads for the roofline report: each workload
@@ -407,6 +513,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   sthsl::RunThreadScalingSweep();
+  sthsl::RunIsaSweepAndFusionBench();
   sthsl::RunRooflineBench();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "exec/exec.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 #include "util/obs/calibrate.h"
 #include "util/obs/export.h"
@@ -51,6 +52,10 @@ std::string ProvenanceJson() {
   json += std::to_string(exec::ThreadCount());
   json += ",\"cpu_model\":\"";
   json += obs::JsonEscape(obs::CpuModelName());
+  json += "\",\"simd\":\"";
+  json += obs::JsonEscape(simd::Kernels().name);
+  json += "\",\"cpu_features\":\"";
+  json += obs::JsonEscape(simd::CpuFeatureString());
   json += "\"}";
   return json;
 }

@@ -15,7 +15,8 @@ const std::set<std::string>& ThreadExemptLayers() {
 }
 
 const std::set<std::string>& KernelLayers() {
-  static const std::set<std::string> layers = {"tensor", "nn", "core"};
+  static const std::set<std::string> layers = {"tensor", "nn", "core",
+                                               "simd"};
   return layers;
 }
 
@@ -217,6 +218,32 @@ void CheckUnorderedIterationRule(const SourceFile& file,
   }
 }
 
+// SIMD intrinsic headers are confined to src/simd/: everywhere else a raw
+// <immintrin.h>/<arm_neon.h> include means hand-rolled vector code that
+// bypasses the microkernel contract (fixed accumulation order, dispatch,
+// scalar-tail rules documented in simd/simd.h).
+void CheckIntrinsicsRule(const SourceFile& file,
+                         const std::vector<Token>& tokens,
+                         std::vector<Finding>& out) {
+  static const std::set<std::string> kIntrinsicHeaders = {
+      "immintrin.h", "arm_neon.h", "emmintrin.h", "xmmintrin.h",
+      "smmintrin.h", "avxintrin.h", "avx2intrin.h"};
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kDirective || tokens[i].text != "include") {
+      continue;
+    }
+    const Token& target = tokens[i + 1];
+    if (target.kind != TokenKind::kHeaderName ||
+        !kIntrinsicHeaders.count(target.text)) {
+      continue;
+    }
+    out.push_back({file.path, target.line, "det-intrinsics", Severity::kError,
+                   "<" + target.text + "> outside src/simd/ — raw intrinsics "
+                   "bypass the microkernel determinism contract; add or use "
+                   "a kernel in simd/simd.h instead"});
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunDeterminismPass(const std::vector<SourceFile>& files) {
@@ -227,11 +254,16 @@ std::vector<Finding> RunDeterminismPass(const std::vector<SourceFile>& files) {
     const bool check_threads = !ThreadExemptLayers().count(layer);
     const bool check_rand_time = KernelLayers().count(layer) > 0;
     const bool check_unordered = FloatOrderLayers().count(layer) > 0;
-    if (!check_threads && !check_rand_time && !check_unordered) continue;
+    const bool check_intrinsics = layer != "simd";
+    if (!check_threads && !check_rand_time && !check_unordered &&
+        !check_intrinsics) {
+      continue;
+    }
     const std::vector<Token> tokens = Lex(file.text);
     if (check_threads) CheckThreadRule(file, tokens, findings);
     if (check_rand_time) CheckRandAndTimeRules(file, tokens, findings);
     if (check_unordered) CheckUnorderedIterationRule(file, tokens, findings);
+    if (check_intrinsics) CheckIntrinsicsRule(file, tokens, findings);
   }
   return findings;
 }

@@ -20,9 +20,9 @@ const std::vector<RuleInfo>& Rules() {
   static const std::vector<RuleInfo> rules = {
       // Layering pass.
       {"layer-dag", Severity::kError, "layering",
-       "src/ layers form a DAG: util -> exec -> tensor -> nn/metrics -> "
-       "data -> core -> baselines -> serve; an include may only reach its "
-       "own layer or one below it"},
+       "src/ layers form a DAG: util -> exec -> simd -> tensor -> "
+       "nn/metrics -> data -> core -> baselines -> serve; an include may "
+       "only reach its own layer or one below it"},
       {"include-cycle", Severity::kError, "layering",
        "no cyclic quoted-include chains between src/ files"},
       {"unknown-layer", Severity::kError, "layering",
@@ -41,6 +41,11 @@ const std::vector<RuleInfo>& Rules() {
        "no wall-clock reads (time/clock_gettime/system_clock/...) in "
        "tensor/nn/core kernel code; results must not depend on when they "
        "run"},
+      {"det-intrinsics", Severity::kError, "determinism",
+       "SIMD intrinsic headers (<immintrin.h>/<arm_neon.h>/...) are "
+       "confined to src/simd/; kernel code reaches vector units only "
+       "through the simd::Kernels() microkernel set, which pins the "
+       "accumulation order across ISAs"},
       {"det-unordered-iter", Severity::kError, "determinism",
        "no iteration over unordered containers in a function that "
        "accumulates floating-point state: hash-order iteration reorders "

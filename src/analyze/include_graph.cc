@@ -125,21 +125,24 @@ const std::map<std::string, std::vector<std::string>>& LayerTable() {
       {"util", {"util"}},
       {"exec", {"util", "exec"}},
       {"analyze", {"util", "analyze"}},
+      {"simd", {"util", "exec", "simd"}},
       {"sparse", {"util", "exec", "sparse"}},
-      {"tensor", {"util", "exec", "sparse", "tensor"}},
-      {"nn", {"util", "exec", "sparse", "tensor", "nn", "metrics"}},
-      {"metrics", {"util", "exec", "sparse", "tensor", "nn", "metrics"}},
+      {"tensor", {"util", "exec", "simd", "sparse", "tensor"}},
+      {"nn", {"util", "exec", "simd", "sparse", "tensor", "nn", "metrics"}},
+      {"metrics",
+       {"util", "exec", "simd", "sparse", "tensor", "nn", "metrics"}},
       {"data",
-       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data"}},
+       {"util", "exec", "simd", "sparse", "tensor", "nn", "metrics",
+        "data"}},
       {"core",
-       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data",
+       {"util", "exec", "simd", "sparse", "tensor", "nn", "metrics", "data",
         "core"}},
       {"baselines",
-       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data", "core",
-        "baselines"}},
+       {"util", "exec", "simd", "sparse", "tensor", "nn", "metrics", "data",
+        "core", "baselines"}},
       {"serve",
-       {"util", "exec", "sparse", "tensor", "nn", "metrics", "data", "core",
-        "baselines", "serve"}},
+       {"util", "exec", "simd", "sparse", "tensor", "nn", "metrics", "data",
+        "core", "baselines", "serve"}},
   };
   return table;
 }

@@ -9,6 +9,7 @@
 
 #include "exec/exec.h"
 #include "serve/access_log.h"
+#include "simd/simd.h"
 #include "serve/trace.h"
 #include "util/json_mini.h"
 #include "util/obs/log_histogram.h"
@@ -376,7 +377,9 @@ HttpResponse PredictService::HandleStatusz(const HttpRequest& request) {
        << ", \"created_utc\": " << JsonQuote(m.created_utc)
        << ", \"tool\": " << JsonQuote(m.tool)
        << "}, \"exec_threads\": " << exec::ThreadCount()
-       << ", \"trace_enabled\": "
+       << ", \"simd\": {\"kernels\": " << JsonQuote(simd::Kernels().name)
+       << ", \"cpu_features\": " << JsonQuote(simd::CpuFeatureString())
+       << "}, \"trace_enabled\": "
        << (obs::TraceEnabled() ? "true" : "false")
        << ", \"access_log_enabled\": "
        << (AccessLog::Global().enabled() ? "true" : "false")

@@ -1,0 +1,330 @@
+// NEON (aarch64) microkernels. NEON is architecturally guaranteed on
+// aarch64, so this variant needs no runtime feature check.
+//
+// The 8-lane reduction contract is implemented with paired float32x4
+// registers: acc_lo holds lanes 0-3, acc_hi lanes 4-7, and the fold
+// vaddq(acc_lo, acc_hi) computes exactly b0..b3 of the canonical tree.
+// Selects use vcgtq + vbslq rather than vmaxq because Arm FMAX has
+// different signed-zero and NaN semantics than the (a > b) ? a : b select
+// the contract specifies.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <limits>
+
+#include "simd/variants.h"
+
+namespace sthsl::simd {
+namespace {
+
+inline float32x4_t SelectGt(float32x4_t a, float32x4_t b) {
+  return vbslq_f32(vcgtq_f32(a, b), a, b);
+}
+
+void GemmTileNeon(const float* a_panel, const float* b_panel, float* c,
+                  int64_t ldc, int64_t mr, int64_t nr, int64_t kc) {
+  if (mr == kGemmTileRows && nr == kGemmTileCols) {
+    // Full 6x16 tile: 24 quad accumulators, four B loads shared per k step.
+    float32x4_t acc[6][4];
+    for (int i = 0; i < 6; ++i) {
+      for (int q = 0; q < 4; ++q) acc[i][q] = vld1q_f32(c + i * ldc + 4 * q);
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* brow = b_panel + p * kGemmTileCols;
+      const float32x4_t b0 = vld1q_f32(brow);
+      const float32x4_t b1 = vld1q_f32(brow + 4);
+      const float32x4_t b2 = vld1q_f32(brow + 8);
+      const float32x4_t b3 = vld1q_f32(brow + 12);
+      for (int i = 0; i < 6; ++i) {
+        const float a = a_panel[i * kc + p];
+        acc[i][0] = vfmaq_n_f32(acc[i][0], b0, a);
+        acc[i][1] = vfmaq_n_f32(acc[i][1], b1, a);
+        acc[i][2] = vfmaq_n_f32(acc[i][2], b2, a);
+        acc[i][3] = vfmaq_n_f32(acc[i][3], b3, a);
+      }
+    }
+    for (int i = 0; i < 6; ++i) {
+      for (int q = 0; q < 4; ++q) vst1q_f32(c + i * ldc + 4 * q, acc[i][q]);
+    }
+    return;
+  }
+  const int64_t nr4 = nr & ~int64_t{3};
+  for (int64_t i = 0; i < mr; ++i) {
+    const float* arow = a_panel + i * kc;
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < nr4; j += 4) {
+      float32x4_t acc = vld1q_f32(crow + j);
+      for (int64_t p = 0; p < kc; ++p) {
+        acc = vfmaq_n_f32(acc, vld1q_f32(b_panel + p * kGemmTileCols + j),
+                          arow[p]);
+      }
+      vst1q_f32(crow + j, acc);
+    }
+    for (int64_t j = nr4; j < nr; ++j) {
+      float acc = crow[j];
+      for (int64_t p = 0; p < kc; ++p) {
+        acc = std::fma(arow[p], b_panel[p * kGemmTileCols + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+void AxpyNeon(int64_t n, float a, const float* x, float* y) {
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(y + i, vfmaq_n_f32(vld1q_f32(y + i), vld1q_f32(x + i), a));
+  }
+  for (int64_t i = n4; i < n; ++i) y[i] = std::fma(a, x[i], y[i]);
+}
+
+// Canonical fold from paired quads: b = lo + hi gives [b0,b1,b2,b3];
+// [c0,c1] = [b0+b2, b1+b3]; result = (c0 + c1) + tail.
+inline float FoldAdd(float32x4_t acc_lo, float32x4_t acc_hi, float tail) {
+  const float32x4_t b = vaddq_f32(acc_lo, acc_hi);
+  const float32x2_t c = vadd_f32(vget_low_f32(b), vget_high_f32(b));
+  return (vget_lane_f32(c, 0) + vget_lane_f32(c, 1)) + tail;
+}
+
+float DotNeon(int64_t n, const float* x, const float* y) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  const int64_t n8 = n & ~int64_t{7};
+  for (int64_t i = 0; i < n8; i += 8) {
+    acc_lo = vfmaq_f32(acc_lo, vld1q_f32(x + i), vld1q_f32(y + i));
+    acc_hi = vfmaq_f32(acc_hi, vld1q_f32(x + i + 4), vld1q_f32(y + i + 4));
+  }
+  float tail = 0.0f;
+  for (int64_t i = n8; i < n; ++i) tail = std::fma(x[i], y[i], tail);
+  return FoldAdd(acc_lo, acc_hi, tail);
+}
+
+float ReduceSumNeon(int64_t n, const float* x) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  const int64_t n8 = n & ~int64_t{7};
+  for (int64_t i = 0; i < n8; i += 8) {
+    acc_lo = vaddq_f32(acc_lo, vld1q_f32(x + i));
+    acc_hi = vaddq_f32(acc_hi, vld1q_f32(x + i + 4));
+  }
+  float tail = 0.0f;
+  for (int64_t i = n8; i < n; ++i) tail += x[i];
+  return FoldAdd(acc_lo, acc_hi, tail);
+}
+
+inline float MaxSelect(float a, float b) { return a > b ? a : b; }
+
+float ReduceMaxNeon(int64_t n, const float* x) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  float32x4_t acc_lo = vdupq_n_f32(ninf);
+  float32x4_t acc_hi = vdupq_n_f32(ninf);
+  const int64_t n8 = n & ~int64_t{7};
+  for (int64_t i = 0; i < n8; i += 8) {
+    acc_lo = SelectGt(acc_lo, vld1q_f32(x + i));
+    acc_hi = SelectGt(acc_hi, vld1q_f32(x + i + 4));
+  }
+  float tail = ninf;
+  for (int64_t i = n8; i < n; ++i) tail = MaxSelect(tail, x[i]);
+  const float32x4_t b = SelectGt(acc_lo, acc_hi);
+  const float32x2_t blo = vget_low_f32(b);
+  const float32x2_t bhi = vget_high_f32(b);
+  const float c0 = MaxSelect(vget_lane_f32(blo, 0), vget_lane_f32(bhi, 0));
+  const float c1 = MaxSelect(vget_lane_f32(blo, 1), vget_lane_f32(bhi, 1));
+  return MaxSelect(MaxSelect(c0, c1), tail);
+}
+
+void AddNeon(int64_t n, const float* x, const float* y, float* out) {
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void SubNeon(int64_t n, const float* x, const float* y, float* out) {
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vsubq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void MulNeon(int64_t n, const float* x, const float* y, float* out) {
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+void DivNeon(int64_t n, const float* x, const float* y, float* out) {
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vdivq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] / y[i];
+}
+
+void AddScalarNeon(int64_t n, const float* x, float s, float* out) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(x + i), sv));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] + s;
+}
+
+void MulScalarNeon(int64_t n, const float* x, float s, float* out) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(x + i), sv));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] * s;
+}
+
+void DivScalarNeon(int64_t n, const float* x, float s, float* out) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vdivq_f32(vld1q_f32(x + i), sv));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] / s;
+}
+
+void ReluNeon(int64_t n, const float* x, float* out) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, SelectGt(vld1q_f32(x + i), zero));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void LeakyReluNeon(int64_t n, const float* x, float slope, float* out) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    const float32x4_t xv = vld1q_f32(x + i);
+    const float32x4_t neg = vmulq_n_f32(xv, slope);
+    vst1q_f32(out + i, vbslq_f32(vcgtq_f32(xv, zero), xv, neg));
+  }
+  for (int64_t i = n4; i < n; ++i) {
+    out[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+  }
+}
+
+void ClampMinNeon(int64_t n, const float* x, float floor, float* out) {
+  const float32x4_t fv = vdupq_n_f32(floor);
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, SelectGt(vld1q_f32(x + i), fv));
+  }
+  for (int64_t i = n4; i < n; ++i) out[i] = x[i] > floor ? x[i] : floor;
+}
+
+void SgdStepNeon(int64_t n, float* x, const float* g, float lr, float wd) {
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    const float32x4_t xv = vld1q_f32(x + i);
+    const float32x4_t grad = vfmaq_n_f32(vld1q_f32(g + i), xv, wd);
+    vst1q_f32(x + i, vfmaq_n_f32(xv, grad, -lr));
+  }
+  for (int64_t i = n4; i < n; ++i) {
+    const float grad = std::fma(wd, x[i], g[i]);
+    x[i] = std::fma(-lr, grad, x[i]);
+  }
+}
+
+void SgdMomentumStepNeon(int64_t n, float* x, float* v, const float* g,
+                         float lr, float momentum, float wd) {
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    const float32x4_t xv = vld1q_f32(x + i);
+    const float32x4_t grad = vfmaq_n_f32(vld1q_f32(g + i), xv, wd);
+    const float32x4_t vv = vfmaq_n_f32(grad, vld1q_f32(v + i), momentum);
+    vst1q_f32(v + i, vv);
+    vst1q_f32(x + i, vfmaq_n_f32(xv, vv, -lr));
+  }
+  for (int64_t i = n4; i < n; ++i) {
+    const float grad = std::fma(wd, x[i], g[i]);
+    v[i] = std::fma(momentum, v[i], grad);
+    x[i] = std::fma(-lr, v[i], x[i]);
+  }
+}
+
+void AdamStepNeon(int64_t n, float* x, float* m, float* v, const float* g,
+                  float lr, float beta1, float beta2, float eps, float wd,
+                  float bc1, float bc2) {
+  const float om1 = 1.0f - beta1;
+  const float om2 = 1.0f - beta2;
+  const float32x4_t bc1v = vdupq_n_f32(bc1);
+  const float32x4_t bc2v = vdupq_n_f32(bc2);
+  const float32x4_t epsv = vdupq_n_f32(eps);
+  const int64_t n4 = n & ~int64_t{3};
+  for (int64_t i = 0; i < n4; i += 4) {
+    const float32x4_t xv = vld1q_f32(x + i);
+    const float32x4_t grad = vfmaq_n_f32(vld1q_f32(g + i), xv, wd);
+    const float32x4_t mv =
+        vfmaq_n_f32(vmulq_n_f32(grad, om1), vld1q_f32(m + i), beta1);
+    const float32x4_t vv = vfmaq_n_f32(
+        vmulq_n_f32(vmulq_f32(grad, grad), om2), vld1q_f32(v + i), beta2);
+    vst1q_f32(m + i, mv);
+    vst1q_f32(v + i, vv);
+    const float32x4_t m_hat = vdivq_f32(mv, bc1v);
+    const float32x4_t v_hat = vdivq_f32(vv, bc2v);
+    const float32x4_t denom = vaddq_f32(vsqrtq_f32(v_hat), epsv);
+    const float32x4_t step = vdivq_f32(vmulq_n_f32(m_hat, lr), denom);
+    vst1q_f32(x + i, vsubq_f32(xv, step));
+  }
+  for (int64_t i = n4; i < n; ++i) {
+    const float grad = std::fma(wd, x[i], g[i]);
+    m[i] = std::fma(beta1, m[i], om1 * grad);
+    v[i] = std::fma(beta2, v[i], om2 * (grad * grad));
+    const float m_hat = m[i] / bc1;
+    const float v_hat = v[i] / bc2;
+    x[i] = x[i] - (lr * m_hat) / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace
+
+const MicrokernelSet* NeonKernelsOrNull() {
+  static const MicrokernelSet set = {
+      "neon",
+      GemmTileNeon,
+      AxpyNeon,
+      DotNeon,
+      ReduceSumNeon,
+      ReduceMaxNeon,
+      AddNeon,
+      SubNeon,
+      MulNeon,
+      DivNeon,
+      AddScalarNeon,
+      MulScalarNeon,
+      DivScalarNeon,
+      ReluNeon,
+      LeakyReluNeon,
+      ClampMinNeon,
+      SgdStepNeon,
+      SgdMomentumStepNeon,
+      AdamStepNeon,
+  };
+  return &set;
+}
+
+}  // namespace sthsl::simd
+
+#else  // !aarch64
+
+#include "simd/variants.h"
+
+namespace sthsl::simd {
+const MicrokernelSet* NeonKernelsOrNull() { return nullptr; }
+}  // namespace sthsl::simd
+
+#endif

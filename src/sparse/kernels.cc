@@ -1,6 +1,7 @@
 #include "sparse/kernels.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "exec/exec.h"
 
@@ -35,7 +36,11 @@ void SpmmCsrDense(const int64_t* row_ptr, const int64_t* cols,
           for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
             const float av = vals[perm != nullptr ? perm[e] : e];
             const float* brow = b + cols[e] * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            // Single-rounding fma, like the dense GEMM microkernels: with
+            // fma(0, b, acc) == acc exactly, skipping the zero entries
+            // leaves the result bitwise equal to the dense product.
+            for (int64_t j = 0; j < n; ++j)
+              crow[j] = std::fma(av, brow[j], crow[j]);
           }
         }
       },
@@ -54,7 +59,8 @@ void SpmmValueGrad(const int64_t* row_ptr, const int64_t* cols,
           for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
             const float* brow = b + cols[e] * n;
             float acc = 0.0f;
-            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            for (int64_t j = 0; j < n; ++j)
+              acc = std::fma(grow[j], brow[j], acc);
             dvals[perm != nullptr ? perm[e] : e] = acc;
           }
         }

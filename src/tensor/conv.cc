@@ -8,11 +8,19 @@
 // the thread count — into a reusable scratch buffer leased from the exec
 // layer, then combine the partials in ascending chunk order. The scratch
 // arena replaces the per-call workspace allocations these passes needed.
+//
+// Inner loops run on the simd microkernels: forward and the input gradient
+// are per-row axpy, the weight gradient is a canonical dot per output row
+// (summed in ascending row order), and the bias gradient is a canonical
+// reduce_sum — all bitwise-identical across ISA variants per the simd.h
+// contract. The former `wv == 0.0f` skip branches are gone: they made
+// timing data-dependent and would have broken the fixed accumulation order.
 
 #include <algorithm>
 #include <cstring>
 
 #include "exec/exec.h"
+#include "simd/simd.h"
 #include "tensor/debug_validator.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -69,6 +77,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     exec::ParallelFor(
         0, batch, BatchGrain(sample_flops),
         [=](int64_t s0, int64_t s1) {
+          const auto& ks = simd::Kernels();
           for (int64_t s = s0; s < s1; ++s) {
             for (int64_t co = 0; co < cout; ++co) {
               float* out_plane = out_data + (s * cout + co) * out_h * out_w;
@@ -82,7 +91,6 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                 for (int64_t dy = 0; dy < kh; ++dy) {
                   for (int64_t dx = 0; dx < kw; ++dx) {
                     const float wv = w_plane[dy * kw + dx];
-                    if (wv == 0.0f) continue;
                     // Output rows for which input row oy - pad_h + dy is in
                     // range.
                     const int64_t oy_lo = std::max<int64_t>(0, pad_h - dy);
@@ -96,9 +104,8 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                       const float* in_row =
                           in_plane + iy * width - pad_w + dx;
                       float* out_row = out_plane + oy * out_w;
-                      for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-                        out_row[ox] += wv * in_row[ox];
-                      }
+                      ks.axpy(ox_hi - ox_lo, wv, in_row + ox_lo,
+                              out_row + ox_lo);
                     }
                   }
                 }
@@ -135,6 +142,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
           exec::ParallelFor(
               0, batch, BatchGrain(sample_flops),
               [=](int64_t s0, int64_t s1) {
+                const auto& ks = simd::Kernels();
                 for (int64_t s = s0; s < s1; ++s) {
                   for (int64_t co = 0; co < cout; ++co) {
                     const float* g_plane =
@@ -146,7 +154,6 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                       for (int64_t dy = 0; dy < kh; ++dy) {
                         for (int64_t dxk = 0; dxk < kw; ++dxk) {
                           const float wv = w_plane[dy * kw + dxk];
-                          if (wv == 0.0f) continue;
                           const int64_t oy_lo =
                               std::max<int64_t>(0, pad_h - dy);
                           const int64_t oy_hi =
@@ -160,9 +167,8 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                             float* dx_row =
                                 dx_plane + iy * width - pad_w + dxk;
                             const float* g_row = g_plane + oy * out_w;
-                            for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-                              dx_row[ox] += wv * g_row[ox];
-                            }
+                            ks.axpy(ox_hi - ox_lo, wv, g_row + ox_lo,
+                                    dx_row + ox_lo);
                           }
                         }
                       }
@@ -189,6 +195,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
           exec::ParallelForFixedChunks(
               0, batch, grain,
               [=](int64_t c, int64_t s0, int64_t s1) {
+                const auto& ks = simd::Kernels();
                 float* dw_part = partials + c * stride;
                 float* db_part = dw_part + dw_size;
                 std::memset(dw_part, 0,
@@ -212,15 +219,16 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                                 std::max<int64_t>(0, pad_w - dxk);
                             const int64_t ox_hi =
                                 std::min<int64_t>(out_w, width + pad_w - dxk);
+                            // Canonical dot per output row, rows summed in
+                            // ascending oy order.
                             float acc = 0.0f;
                             for (int64_t oy = oy_lo; oy < oy_hi; ++oy) {
                               const int64_t iy = oy - pad_h + dy;
                               const float* in_row =
                                   in_plane + iy * width - pad_w + dxk;
                               const float* g_row = g_plane + oy * out_w;
-                              for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-                                acc += in_row[ox] * g_row[ox];
-                              }
+                              acc += ks.dot(ox_hi - ox_lo, in_row + ox_lo,
+                                            g_row + ox_lo);
                             }
                             dw_plane[dy * kw + dxk] += acc;
                           }
@@ -228,11 +236,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                       }
                     }
                     if (need_b) {
-                      float acc = 0.0f;
-                      for (int64_t i = 0; i < out_h * out_w; ++i) {
-                        acc += g_plane[i];
-                      }
-                      db_part[co] += acc;
+                      db_part[co] += ks.reduce_sum(out_h * out_w, g_plane);
                     }
                   }
                 }

@@ -1,14 +1,18 @@
 // Matrix-product kernels and the MatMul autograd op.
 //
-// All three GEMM variants dispatch row-blocked through the exec layer:
-// each chunk owns a disjoint range of output rows and runs the exact
-// serial inner loops, so results are bitwise-identical at any thread
-// count. The former `av == 0.0f` skip branches are gone — they broke
-// vectorization of the dense inner loops and made timing data-dependent.
+// All three GEMM variants run cache-blocked through the simd microkernel
+// layer: K is split into ascending KC-sized blocks, B (or the transposed
+// operand) is packed into kc x 16 panels in exec scratch, and 6x16 register
+// tiles of C are updated by simd::Kernels().gemm_tile. Every output element
+// accumulates its K products as one ascending fused-multiply-add chain, so
+// the result is bitwise independent of thread count, tile alignment, and
+// the selected ISA variant (see the contract in simd/simd.h). Row chunks are
+// dispatched through the exec layer exactly as before.
 
 #include <algorithm>
 
 #include "exec/exec.h"
+#include "simd/simd.h"
 #include "tensor/debug_validator.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -29,50 +33,113 @@ int64_t RowGrain(int64_t flops_per_row) {
   return std::max<int64_t>(1, kGemmGrainFlops / flops_per_row);
 }
 
+// K-dimension cache block: 256 floats of a packed panel row group stay well
+// inside L1/L2 alongside the 6x16 C tile.
+constexpr int64_t kKC = 256;
+
+constexpr int64_t kMR = simd::kGemmTileRows;
+constexpr int64_t kNR = simd::kGemmTileCols;
+
+// Blocked driver shared by all three variants. Computes, for output rows
+// [i0, i1) of row-major C with `ncols` columns:
+//   C(i, j) += sum_p X(i, p) * Y(p, j),   p = 0 .. kk-1 ascending
+// pack_y(panel, p0, pc, j0, nr) must fill panel[p*kNR + jj] = Y(p0+p, j0+jj);
+// pack_x(panel, r0, mr, p0, pc) must fill panel[r*pc + q] = X(r0+r, p0+q).
+// When X's rows are already contiguous with stride kk and the whole K fits
+// in one block, callers pass x_direct to skip the X packing entirely.
+template <typename PackX, typename PackY>
+void GemmBlocked(float* c, int64_t ncols, int64_t i0, int64_t i1, int64_t kk,
+                 const float* x_direct, PackX pack_x, PackY pack_y) {
+  if (i1 <= i0 || ncols <= 0 || kk <= 0) return;
+  const auto& kernels = simd::Kernels();
+  const bool direct = (x_direct != nullptr) && kk <= kKC;
+  exec::ScratchLease scratch(static_cast<size_t>(kKC * kNR + kMR * kKC));
+  float* y_panel = scratch.data();
+  float* x_panel = scratch.data() + kKC * kNR;
+  for (int64_t p0 = 0; p0 < kk; p0 += kKC) {
+    const int64_t pc = std::min(kKC, kk - p0);
+    for (int64_t j0 = 0; j0 < ncols; j0 += kNR) {
+      const int64_t nr = std::min(kNR, ncols - j0);
+      pack_y(y_panel, p0, pc, j0, nr);
+      for (int64_t r0 = i0; r0 < i1; r0 += kMR) {
+        const int64_t mr = std::min(kMR, i1 - r0);
+        const float* xp;
+        if (direct) {
+          xp = x_direct + r0 * kk;
+        } else {
+          pack_x(x_panel, r0, mr, p0, pc);
+          xp = x_panel;
+        }
+        kernels.gemm_tile(xp, y_panel, c + r0 * ncols + j0, ncols, mr, nr,
+                          pc);
+      }
+    }
+  }
+}
+
 // C(m,n) += A(m,k) * B(k,n) restricted to output rows [i0, i1). C must be
-// pre-zeroed. Loop order (i, p, j) keeps both B and C accesses contiguous
-// in the inner loop.
+// pre-zeroed (or hold a running accumulation).
 void GemmNNRows(const float* a, const float* b, float* c, int64_t k,
                 int64_t n, int64_t i0, int64_t i1) {
-  for (int64_t i = i0; i < i1; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a[i * k + p];
-      const float* brow = b + p * n;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmBlocked(
+      c, n, i0, i1, k, k <= kKC ? a : nullptr,
+      [=](float* panel, int64_t r0, int64_t mr, int64_t p0, int64_t pc) {
+        for (int64_t r = 0; r < mr; ++r) {
+          const float* src = a + (r0 + r) * k + p0;
+          std::copy(src, src + pc, panel + r * pc);
+        }
+      },
+      [=](float* panel, int64_t p0, int64_t pc, int64_t j0, int64_t nr) {
+        for (int64_t p = 0; p < pc; ++p) {
+          const float* src = b + (p0 + p) * n + j0;
+          std::copy(src, src + nr, panel + p * kNR);
+        }
+      });
 }
 
-// C(m,k) += A(m,n) * B(k,n)^T restricted to output rows [i0, i1) — rows of
-// both operands are contiguous.
+// C(m,k) += A(m,n) * B(k,n)^T restricted to output rows [i0, i1): the
+// inner dimension is n, and Y(p, j) = B(j0+j row, p-th column) needs a
+// transpose pack.
 void GemmNTRows(const float* a, const float* b, float* c, int64_t n,
                 int64_t k, int64_t i0, int64_t i1) {
-  for (int64_t i = i0; i < i1; ++i) {
-    const float* arow = a + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      c[i * k + p] += acc;
-    }
-  }
+  GemmBlocked(
+      c, k, i0, i1, n, n <= kKC ? a : nullptr,
+      [=](float* panel, int64_t r0, int64_t mr, int64_t p0, int64_t pc) {
+        for (int64_t r = 0; r < mr; ++r) {
+          const float* src = a + (r0 + r) * n + p0;
+          std::copy(src, src + pc, panel + r * pc);
+        }
+      },
+      [=](float* panel, int64_t p0, int64_t pc, int64_t j0, int64_t nr) {
+        for (int64_t j = 0; j < nr; ++j) {
+          const float* src = b + (j0 + j) * n + p0;
+          for (int64_t p = 0; p < pc; ++p) panel[p * kNR + j] = src[p];
+        }
+      });
 }
 
-// C(k,n) += A(m,k)^T * B(m,n) restricted to output rows [p0, p1). Each
-// output row accumulates over i in ascending order — the same per-element
-// association as the serial (i, p, j) loop, so the result is bitwise
-// independent of the row chunking.
+// C(k,n) += A(m,k)^T * B(m,n) restricted to output rows [p0, p1). The
+// inner dimension is m; X(p, i) = A(i, p) needs a transpose pack. Each
+// output element accumulates over i in ascending order, so the result is
+// bitwise independent of the row chunking.
 void GemmTNRows(const float* a, const float* b, float* c, int64_t m,
                 int64_t k, int64_t n, int64_t p0, int64_t p1) {
-  for (int64_t p = p0; p < p1; ++p) {
-    float* crow = c + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = a[i * k + p];
-      const float* brow = b + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmBlocked(
+      c, n, p0, p1, m, nullptr,
+      [=](float* panel, int64_t r0, int64_t mr, int64_t q0, int64_t qc) {
+        for (int64_t r = 0; r < mr; ++r) {
+          const float* col = a + (r0 + r);
+          for (int64_t q = 0; q < qc; ++q) {
+            panel[r * qc + q] = col[(q0 + q) * k];
+          }
+        }
+      },
+      [=](float* panel, int64_t q0, int64_t qc, int64_t j0, int64_t nr) {
+        for (int64_t q = 0; q < qc; ++q) {
+          const float* src = b + (q0 + q) * n + j0;
+          std::copy(src, src + nr, panel + q * kNR);
+        }
+      });
 }
 
 // Parallel batched GemmNN: collapses (batch, row) into one index space so

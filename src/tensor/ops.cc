@@ -6,7 +6,9 @@
 #include <limits>
 
 #include "exec/exec.h"
+#include "simd/simd.h"
 #include "tensor/debug_validator.h"
+#include "tensor/fusion.h"
 #include "util/check.h"
 
 namespace sthsl {
@@ -209,20 +211,28 @@ Tensor UnaryOp(const char* name, const Tensor& a, Fwd fwd, Df df) {
 }  // namespace
 
 // -- Binary -------------------------------------------------------------------
+//
+// Each elementwise op first offers itself to the fusion layer: same-shape
+// chains build a pending FusedChain (one loop nest, no intermediates — see
+// tensor/fusion.h) and only fall through to the eager kernels below when
+// fusion is off or the shapes broadcast.
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  if (Tensor f = TryFuseBinary(FusedOp::kAdd, a, b); f.Defined()) return f;
   return BroadcastBinary(
       "add", a, b, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  if (Tensor f = TryFuseBinary(FusedOp::kSub, a, b); f.Defined()) return f;
   return BroadcastBinary(
       "sub", a, b, [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  if (Tensor f = TryFuseBinary(FusedOp::kMul, a, b); f.Defined()) return f;
   return BroadcastBinary(
       "mul", a, b, [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
@@ -233,6 +243,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
     ValidateOpInput("div", "a", a);
     ValidateOpInput("div", "b", b);
   }
+  if (Tensor f = TryFuseBinary(FusedOp::kDiv, a, b); f.Defined()) return f;
   return BroadcastBinary(
       "div", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
@@ -240,12 +251,14 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
+  if (Tensor f = TryFuseUnary(FusedOp::kAddScalar, a, s); f.Defined()) return f;
   return UnaryOp(
       "add_scalar", a, [s](float x) { return x + s; },
       [](float, float) { return 1.0f; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
+  if (Tensor f = TryFuseUnary(FusedOp::kMulScalar, a, s); f.Defined()) return f;
   return UnaryOp(
       "mul_scalar", a, [s](float x) { return x * s; },
       [s](float, float) { return s; });
@@ -254,12 +267,14 @@ Tensor MulScalar(const Tensor& a, float s) {
 // -- Unary --------------------------------------------------------------------
 
 Tensor Neg(const Tensor& a) {
+  if (Tensor f = TryFuseUnary(FusedOp::kNeg, a); f.Defined()) return f;
   return UnaryOp(
       "neg", a, [](float x) { return -x; },
       [](float, float) { return -1.0f; });
 }
 
 Tensor Exp(const Tensor& a) {
+  if (Tensor f = TryFuseUnary(FusedOp::kExp, a); f.Defined()) return f;
   return UnaryOp(
       "exp", a, [](float x) { return std::exp(x); },
       [](float, float fx) { return fx; });
@@ -267,6 +282,7 @@ Tensor Exp(const Tensor& a) {
 
 Tensor Log(const Tensor& a) {
   if (DebugChecksEnabled()) ValidateOpInput("log", "a", a);
+  if (Tensor f = TryFuseUnary(FusedOp::kLog, a); f.Defined()) return f;
   return UnaryOp(
       "log", a, [](float x) { return std::log(std::max(x, 1e-12f)); },
       [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
@@ -274,18 +290,23 @@ Tensor Log(const Tensor& a) {
 
 Tensor Sqrt(const Tensor& a) {
   if (DebugChecksEnabled()) ValidateOpInput("sqrt", "a", a);
+  if (Tensor f = TryFuseUnary(FusedOp::kSqrt, a); f.Defined()) return f;
   return UnaryOp(
       "sqrt", a, [](float x) { return std::sqrt(x); },
       [](float, float fx) { return 0.5f / std::max(fx, 1e-12f); });
 }
 
 Tensor Abs(const Tensor& a) {
+  if (Tensor f = TryFuseUnary(FusedOp::kAbs, a); f.Defined()) return f;
   return UnaryOp(
       "abs", a, [](float x) { return std::fabs(x); },
       [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
 }
 
 Tensor PowScalar(const Tensor& a, float exponent) {
+  if (Tensor f = TryFuseUnary(FusedOp::kPowScalar, a, exponent); f.Defined()) {
+    return f;
+  }
   return UnaryOp(
       "pow_scalar", a,
       [exponent](float x) { return std::pow(x, exponent); },
@@ -295,12 +316,14 @@ Tensor PowScalar(const Tensor& a, float exponent) {
 }
 
 Tensor Square(const Tensor& a) {
+  if (Tensor f = TryFuseUnary(FusedOp::kSquare, a); f.Defined()) return f;
   return UnaryOp(
       "square", a, [](float x) { return x * x; },
       [](float x, float) { return 2.0f * x; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
+  if (Tensor f = TryFuseUnary(FusedOp::kSigmoid, a); f.Defined()) return f;
   return UnaryOp(
       "sigmoid", a,
       [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
@@ -308,18 +331,24 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
+  if (Tensor f = TryFuseUnary(FusedOp::kTanh, a); f.Defined()) return f;
   return UnaryOp(
       "tanh", a, [](float x) { return std::tanh(x); },
       [](float, float fx) { return 1.0f - fx * fx; });
 }
 
 Tensor Relu(const Tensor& a) {
+  if (Tensor f = TryFuseUnary(FusedOp::kRelu, a); f.Defined()) return f;
   return UnaryOp(
       "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  if (Tensor f = TryFuseUnary(FusedOp::kLeakyRelu, a, negative_slope);
+      f.Defined()) {
+    return f;
+  }
   return UnaryOp(
       "leaky_relu", a,
       [negative_slope](float x) {
@@ -331,6 +360,9 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
 }
 
 Tensor ClampMin(const Tensor& a, float floor) {
+  if (Tensor f = TryFuseUnary(FusedOp::kClampMin, a, floor); f.Defined()) {
+    return f;
+  }
   return UnaryOp(
       "clamp_min", a,
       [floor](float x) { return x > floor ? x : floor; },
@@ -817,6 +849,23 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   exec::ParallelFor(
       0, outer * inner, lane_grain,
       [&](int64_t lo, int64_t hi) {
+        if (inner == 1) {
+          // Contiguous lanes (the common last-dim case): canonical reduce_max
+          // / reduce_sum and a vectorized normalize. exp stays scalar libm
+          // per the simd.h transcendental rule.
+          const auto& ks = simd::Kernels();
+          for (int64_t o = lo; o < hi; ++o) {
+            const float* row = av.data() + o * extent;
+            float* out_row = out.data() + o * extent;
+            const float max_val = ks.reduce_max(extent, row);
+            for (int64_t e = 0; e < extent; ++e) {
+              out_row[e] = std::exp(row[e] - max_val);
+            }
+            const float denom = ks.reduce_sum(extent, out_row);
+            ks.div_scalar(extent, out_row, denom, out_row);
+          }
+          return;
+        }
         for (int64_t l = lo; l < hi; ++l) {
           const int64_t o = l / inner;
           const int64_t i = l % inner;
@@ -851,6 +900,20 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
         exec::ParallelFor(
             0, outer * inner, lane_grain,
             [&](int64_t lo, int64_t hi) {
+              if (inner == 1) {
+                // dx = y * (g - dot): canonical dot, then two vector strips
+                // (g - dot written as g + (-dot), exact for all operands).
+                const auto& ks = simd::Kernels();
+                for (int64_t o = lo; o < hi; ++o) {
+                  const float* g_row = gv.data() + o * extent;
+                  const float* y_row = yv.data() + o * extent;
+                  float* ga_row = ga.data() + o * extent;
+                  const float dot = ks.dot(extent, g_row, y_row);
+                  ks.add_scalar(extent, g_row, -dot, ga_row);
+                  ks.mul(extent, y_row, ga_row, ga_row);
+                }
+                return;
+              }
               for (int64_t l = lo; l < hi; ++l) {
                 const int64_t o = l / inner;
                 const int64_t i = l % inner;

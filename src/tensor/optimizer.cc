@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "exec/exec.h"
+#include "simd/simd.h"
 #include "tensor/debug_validator.h"
 #include "util/check.h"
 #include "util/obs/obs.h"
@@ -69,11 +70,9 @@ void Sgd::Step() {
       exec::ParallelFor(
           0, static_cast<int64_t>(data.size()), kOptimGrain,
           [&](int64_t lo, int64_t hi) {
-            for (int64_t j = lo; j < hi; ++j) {
-              const float grad = g[j] + weight_decay_ * data[j];
-              vel[j] = momentum_ * vel[j] + grad;
-              data[j] -= lr_ * vel[j];
-            }
+            simd::Kernels().sgd_momentum_step(hi - lo, data.data() + lo,
+                                              vel.data() + lo, g.data() + lo,
+                                              lr_, momentum_, weight_decay_);
           },
           "exec/sgd_step");
     } else {
@@ -81,9 +80,8 @@ void Sgd::Step() {
       exec::ParallelFor(
           0, static_cast<int64_t>(data.size()), kOptimGrain,
           [&](int64_t lo, int64_t hi) {
-            for (int64_t j = lo; j < hi; ++j) {
-              data[j] -= lr_ * (g[j] + weight_decay_ * data[j]);
-            }
+            simd::Kernels().sgd_step(hi - lo, data.data() + lo, g.data() + lo,
+                                     lr_, weight_decay_);
           },
           "exec/sgd_step");
     }
@@ -135,14 +133,9 @@ void Adam::Step() {
     exec::ParallelFor(
         0, static_cast<int64_t>(data.size()), kOptimGrain,
         [&](int64_t lo, int64_t hi) {
-          for (int64_t j = lo; j < hi; ++j) {
-            const float grad = g[j] + weight_decay_ * data[j];
-            m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
-            v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
-            const float m_hat = m[j] / bc1;
-            const float v_hat = v[j] / bc2;
-            data[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-          }
+          simd::Kernels().adam_step(hi - lo, data.data() + lo, m.data() + lo,
+                                    v.data() + lo, g.data() + lo, lr_, beta1_,
+                                    beta2_, eps_, weight_decay_, bc1, bc2);
         },
         "exec/adam_step");
   }

@@ -27,7 +27,15 @@ constexpr int64_t kFmaBlockIters = 1 << 14;
 // so the loop streams from DRAM.
 constexpr int64_t kTriadElems = int64_t{1} << 22;
 
+// Zero-initialized before any dynamic initialization, so a registration
+// running from another translation unit's static initializer is safe.
+FmaProbeFn g_fma_probe = nullptr;
+
 double MeasureFmaGflops(double seconds_budget) {
+  if (g_fma_probe != nullptr) {
+    const double gflops = g_fma_probe(seconds_budget);
+    if (gflops > 0.0) return gflops;
+  }
   float acc[kFmaChains];
   for (int i = 0; i < kFmaChains; ++i) {
     acc[i] = 0.001f * static_cast<float>(i + 1);
@@ -96,6 +104,8 @@ std::string DirnameOf(const std::string& path) {
 
 }  // namespace
 
+void SetFmaProbe(FmaProbeFn probe) { g_fma_probe = probe; }
+
 std::string CpuModelName() {
   std::ifstream cpuinfo("/proc/cpuinfo");
   std::string line;
@@ -150,6 +160,12 @@ bool LoadCachedPeaks(const std::string& path, MachinePeaks* out) {
   json::JsonParser parser(text);
   if (!parser.Parse(&root, &error)) return false;
   if (!root.Is(json::JsonValue::Kind::kObject)) return false;
+  // Schema 2: the FMA peak is measured through the simd gemm-tile probe.
+  // Older caches hold the scalar-loop figure, which the vectorized kernels
+  // exceed by the vector width — treat them as missing and remeasure.
+  const auto* schema =
+      root.FindOfKind("schema", json::JsonValue::Kind::kNumber);
+  if (schema == nullptr || schema->number != 2) return false;
   const auto* gflops =
       root.FindOfKind("gflops_1t", json::JsonValue::Kind::kNumber);
   const auto* gbps = root.FindOfKind("gbps_1t", json::JsonValue::Kind::kNumber);
@@ -182,7 +198,7 @@ bool SaveMachinePeaks(const std::string& path, const MachinePeaks& peaks) {
   std::snprintf(numbers, sizeof numbers,
                 "\"gflops_1t\":%.6g,\"gbps_1t\":%.6g,\"hardware_threads\":%d",
                 peaks.gflops_1t, peaks.gbps_1t, peaks.hardware_threads);
-  file << "{\"schema\":1,\"cpu_model\":" << json::JsonQuote(peaks.cpu_model)
+  file << "{\"schema\":2,\"cpu_model\":" << json::JsonQuote(peaks.cpu_model)
        << "," << numbers
        << ",\"created_utc\":" << json::JsonQuote(peaks.created_utc) << "}\n";
   return file.good();

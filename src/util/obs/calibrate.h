@@ -41,6 +41,14 @@ int HardwareThreads();
 /// Absolute path of the peaks cache file.
 std::string PeaksCachePath();
 
+/// A vectorized FMA-throughput probe registered by a higher layer
+/// (src/simd registers one at static init that drives the dispatched GEMM
+/// register tile). The scalar fallback loop in this layer underestimates
+/// machines with vector FMA units by the full vector width, which would
+/// make the roofline report achieved rates far above 100% of "peak".
+using FmaProbeFn = double (*)(double seconds_budget);
+void SetFmaProbe(FmaProbeFn probe);
+
 /// Runs the FMA and triad measurement loops, splitting roughly
 /// `seconds_budget` of wall time between them. Does not touch the cache.
 MachinePeaks MeasureMachinePeaks(double seconds_budget);

@@ -345,7 +345,13 @@ void ResetProfiler() {
   state.dropped_events = 0;
   state.live_bytes.store(0);
   state.peak_bytes.store(0);
-  t_boundary_us = -1.0;
+  // The reset instant becomes the calling thread's op boundary: the caller
+  // is starting a measurement region here, so the first op afterwards must
+  // be attributed its full duration. Recording it with zero duration (the
+  // -1 "no boundary" sentinel, kept for threads that never reset) would
+  // under-count a k-iteration benchmark loop's time by 1/k while
+  // forward_calls still counts every call — inflating achieved GFLOP/s.
+  t_boundary_us = TraceNowMicros();
 }
 
 }  // namespace sthsl::obs

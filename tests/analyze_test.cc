@@ -181,8 +181,25 @@ TEST(LayeringTest, FlagsUpwardInclude) {
   EXPECT_EQ(findings[0].rule, "layer-dag");
   EXPECT_EQ(findings[0].line, 1);
   EXPECT_NE(findings[0].message.find("serve/http.h"), std::string::npos);
-  EXPECT_NE(findings[0].message.find("util, exec, sparse, tensor"),
+  EXPECT_NE(findings[0].message.find("util, exec, simd, sparse, tensor"),
             std::string::npos);
+}
+
+TEST(LayeringTest, SimdSitsBetweenExecAndTensor) {
+  // simd may reach util and exec; tensor may reach simd; the reverse
+  // directions are layering errors.
+  const std::vector<SourceFile> ok = {
+      {"src/simd/dispatch.cc", "#include \"exec/exec.h\"\n"},
+      {"src/simd/avx2.cc", "#include \"simd/simd.h\"\n"},
+      {"src/tensor/matmul.cc", "#include \"simd/simd.h\"\n"}};
+  EXPECT_TRUE(RunLayeringPass(ok).empty());
+  const std::vector<SourceFile> bad = {
+      {"src/simd/bad.cc", "#include \"tensor/tensor.h\"\n"},
+      {"src/exec/bad.cc", "#include \"simd/simd.h\"\n"}};
+  const auto findings = RunLayeringPass(bad);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "layer-dag");
+  EXPECT_EQ(findings[1].rule, "layer-dag");
 }
 
 TEST(LayeringTest, AcceptsDownwardAndSameLayerIncludes) {
@@ -312,6 +329,31 @@ TEST(DeterminismTest, OrderedIterationAndLookupsAreFine) {
        "  for (const auto& [k, v] : u) { Use(k); }\n"  // no accumulation
        "  return total;\n"
        "}\n"}};
+  EXPECT_TRUE(RunDeterminismPass(files).empty());
+}
+
+TEST(DeterminismTest, FlagsIntrinsicHeadersOutsideSimd) {
+  const std::vector<SourceFile> files = {
+      {"src/tensor/bad.cc", "#include <immintrin.h>\nvoid F();\n"},
+      {"src/nn/bad_neon.cc", "#include <arm_neon.h>\n"},
+      {"src/exec/bad_sse.cc", "#include <emmintrin.h>\n"}};
+  const auto findings = RunDeterminismPass(files);
+  EXPECT_EQ(CountRule(findings, "det-intrinsics"), 3);
+}
+
+TEST(DeterminismTest, AllowsIntrinsicHeadersInSimd) {
+  const std::vector<SourceFile> files = {
+      {"src/simd/avx2.cc", "#include <immintrin.h>\n"},
+      {"src/simd/neon.cc", "#include <arm_neon.h>\n"}};
+  EXPECT_TRUE(RunDeterminismPass(files).empty());
+}
+
+TEST(DeterminismTest, QuotedOrCommentedIntrinsicIncludesDoNotTrip) {
+  const std::vector<SourceFile> files = {
+      {"src/tensor/ok.cc",
+       "// #include <immintrin.h>\n"
+       "const char* s = \"#include <immintrin.h>\";\n"
+       "#include \"simd/simd.h\"\n"}};
   EXPECT_TRUE(RunDeterminismPass(files).empty());
 }
 

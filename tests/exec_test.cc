@@ -20,6 +20,8 @@
 #include "core/sthsl_model.h"
 #include "exec/exec.h"
 #include "nn/serialization.h"
+#include "simd/simd.h"
+#include "tensor/fusion.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor.h"
@@ -452,6 +454,55 @@ TEST(ExecDeterminism, TrainingTrajectoryAndCheckpointBitwiseIdentical) {
   EXPECT_EQ(bytes1, bytes4);
   std::remove(ckpt1.c_str());
   std::remove(ckpt4.c_str());
+}
+
+// The SIMD dispatch / fusion refactor extends the contract: the training
+// trajectory and checkpoint bytes must also be invariant to WHICH kernel
+// variant runs (dispatched best vs portable reference) and to whether
+// elementwise chains are fused — at any thread count.
+TEST(ExecDeterminism, CheckpointBitwiseAcrossKernelSetFusionAndThreads) {
+  struct Config {
+    const char* tag;
+    const simd::MicrokernelSet* kernels;  // nullptr = dispatched default
+    int threads;
+    int fusion;  // SetFusionEnabledForTesting mode (-1 = default policy)
+  };
+  const std::vector<Config> configs = {
+      {"dispatched/t1/fused", nullptr, 1, -1},
+      {"dispatched/t8/fused", nullptr, 8, -1},
+      {"dispatched/t1/unfused", nullptr, 1, 0},
+      {"portable/t1/fused", &simd::PortableKernels(), 1, -1},
+      {"portable/t8/fused", &simd::PortableKernels(), 8, -1},
+      {"portable/t8/unfused", &simd::PortableKernels(), 8, 0},
+  };
+
+  std::vector<float> baseline_losses;
+  std::vector<float> baseline_params;
+  std::string baseline_bytes;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const Config& config = configs[i];
+    simd::SetKernelsForTesting(config.kernels);
+    SetFusionEnabledForTesting(config.fusion);
+    const std::string ckpt =
+        ::testing::TempDir() + "/exec_det_matrix_" + std::to_string(i) +
+        ".bin";
+    const TrainRun run = TrainSmallNet(config.threads, ckpt);
+    const std::string bytes = ReadFileBytes(ckpt);
+    std::remove(ckpt.c_str());
+    simd::SetKernelsForTesting(nullptr);
+    SetFusionEnabledForTesting(-1);
+
+    ASSERT_FALSE(bytes.empty()) << config.tag;
+    if (i == 0) {
+      baseline_losses = run.losses;
+      baseline_params = run.params;
+      baseline_bytes = bytes;
+      continue;
+    }
+    EXPECT_EQ(run.losses, baseline_losses) << config.tag;
+    EXPECT_EQ(run.params, baseline_params) << config.tag;
+    EXPECT_EQ(bytes, baseline_bytes) << config.tag;
+  }
 }
 
 }  // namespace

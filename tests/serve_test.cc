@@ -679,6 +679,11 @@ TEST(ServeLoopbackTest, EndToEndMatchesDirectPredictBitwise) {
   EXPECT_EQ(status, 200);
   EXPECT_NE(statusz.find("\"exec\""), std::string::npos);
   EXPECT_NE(statusz.find("\"chunks_executed\""), std::string::npos);
+  // The selected SIMD microkernel set and detected CPU features are part of
+  // the serving provenance surface.
+  EXPECT_NE(statusz.find("\"simd\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"kernels\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"cpu_features\""), std::string::npos);
 
   server.Drain();
   engine.Shutdown();
